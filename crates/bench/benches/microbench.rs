@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks of the simulator's core data structures:
+//! cache arrays, the dataflow fabric, the engine scheduler, the DRAM
+//! model, and the deterministic RNG/Zipfian samplers. These guard the
+//! simulator's own performance (millions of these operations run per
+//! simulated second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tako_cache::array::{CacheArray, InsertKind};
+use tako_core::engine::Engine;
+use tako_dataflow::Fabric;
+use tako_mem::dram::Dram;
+use tako_sim::config::{CacheConfig, EngineConfig, MemConfig};
+use tako_sim::rng::{Rng, Zipfian};
+use tako_sim::stats::Stats;
+
+fn bench_cache_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_array");
+    g.bench_function("probe_touch_hit", |b| {
+        let mut a = CacheArray::new(CacheConfig::l2_default());
+        for k in 0..2048u64 {
+            a.insert(k * 64, false, false, InsertKind::Demand, 0);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 2048;
+            black_box(a.touch(black_box(k * 64)))
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut a = CacheArray::new(CacheConfig::l2_default());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(a.insert(k * 64, k.is_multiple_of(3), false, InsertKind::Demand, 0))
+        });
+    });
+    g.bench_function("insert_evict_trrip_morph", |b| {
+        let mut a = CacheArray::new(CacheConfig::l2_default());
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(a.insert(k * 64, false, k.is_multiple_of(2), InsertKind::Engine, 0))
+        });
+    });
+    g.finish();
+}
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dataflow");
+    g.bench_function("callback_8loads_4alu", |b| {
+        let mut fabric = Fabric::new(EngineConfig::default_5x5());
+        let mut t0 = 0u64;
+        b.iter(|| {
+            t0 += 10;
+            let mut t = fabric.begin(t0);
+            let a = t.alu(&[]);
+            let mut deps = Vec::with_capacity(8);
+            for _ in 0..8 {
+                let f = t.mem_fire(&[a]);
+                deps.push(t.mem_complete(f + 20));
+            }
+            let s = t.alu(&deps);
+            let _ = t.alu(&[s]);
+            black_box(t.finish())
+        });
+    });
+    g.finish();
+}
+
+fn bench_engine_scheduler(c: &mut Criterion) {
+    c.bench_function("engine_admit_complete", |b| {
+        let mut e = Engine::new(EngineConfig::default_5x5());
+        let mut stats = Stats::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 5;
+            let line = (t % 4096) * 64;
+            let start = e.admit(0, line, t, false, &mut stats);
+            e.complete(0, line, start, start + 30, false, &mut stats);
+            black_box(start)
+        });
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_read_line", |b| {
+        let mut d = Dram::new(MemConfig::default());
+        let mut stats = Stats::new();
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(d.read_line(k * 64, k * 3, &mut stats))
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("xoshiro_u64", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("zipfian_sample", |b| {
+        let z = Zipfian::new(16 * 1024, 0.99);
+        let mut rng = Rng::new(2);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_array,
+    bench_dataflow,
+    bench_engine_scheduler,
+    bench_dram,
+    bench_rng
+);
+criterion_main!(benches);

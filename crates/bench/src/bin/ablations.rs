@@ -1,0 +1,5 @@
+//! Ablations of täkō's design choices (trrîp, prefetch decoupling).
+fn main() {
+    let opts = tako_bench::Opts::from_args();
+    print!("{}", tako_bench::experiments::ablations(opts));
+}

@@ -1,0 +1,32 @@
+//! Runs every figure/table harness in sequence (use `--scale` to shrink).
+use tako_bench::{experiments as e, Opts};
+
+type Experiment = fn(Opts) -> String;
+
+fn main() {
+    let opts = Opts::from_args();
+    let experiments: &[(&str, Experiment)] = &[
+        ("fig06", e::fig06_decompress),
+        ("fig07", e::fig07_decompress_count),
+        ("fig13", e::fig13_phi),
+        ("fig14", e::fig14_phi_dram),
+        ("fig16", e::fig16_hats),
+        ("fig17", e::fig17_hats_breakdown),
+        ("fig19", e::fig19_nvm),
+        ("fig20", e::fig20_nvm_instrs),
+        ("fig21", e::fig21_sidechannel),
+        ("fig22", e::fig22_fabric_size),
+        ("fig23", e::fig23_pe_latency),
+        ("fig24", e::fig24_core_uarch),
+        ("fig25", e::fig25_scalability),
+        ("table2", e::table2_overhead),
+        ("sens_cb", e::sens_callback_buffer),
+        ("sens_rtlb", e::sens_rtlb),
+        ("ablations", e::ablations),
+    ];
+    for (name, f) in experiments {
+        let t0 = std::time::Instant::now();
+        let out = f(opts);
+        println!("{out}  [{name} took {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig20 nvm instrs experiment. See DESIGN.md §4.
+fn main() {
+    let opts = tako_bench::Opts::from_args();
+    print!("{}", tako_bench::experiments::fig20_nvm_instrs(opts));
+}

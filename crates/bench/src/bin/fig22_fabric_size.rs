@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig22 fabric size experiment. See DESIGN.md §4.
+fn main() {
+    let opts = tako_bench::Opts::from_args();
+    print!("{}", tako_bench::experiments::fig22_fabric_size(opts));
+}

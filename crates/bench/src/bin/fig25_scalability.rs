@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig25 scalability experiment. See DESIGN.md §4.
+fn main() {
+    let opts = tako_bench::Opts::from_args();
+    print!("{}", tako_bench::experiments::fig25_scalability(opts));
+}

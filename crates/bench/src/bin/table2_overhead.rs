@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 overhead experiment. See DESIGN.md §4.
+fn main() {
+    let opts = tako_bench::Opts::from_args();
+    print!("{}", tako_bench::experiments::table2_overhead(opts));
+}

@@ -1,0 +1,95 @@
+//! # tako-bench — the benchmark harness
+//!
+//! One experiment module per figure/table in the paper's evaluation; the
+//! binaries in `src/bin/` are thin wrappers. Every experiment prints the
+//! rows/series the paper plots (speedup and relative energy per variant,
+//! per-phase access breakdowns, sweeps).
+//!
+//! All experiments accept a [`Opts`] parsed from the command line:
+//!
+//! ```text
+//! --scale <f>   scale workload sizes by f (default 1.0 — minutes-scale)
+//! --paper       use the paper's full sizes (much slower)
+//! --seed <n>    override the RNG seed
+//! ```
+//!
+//! Absolute cycle counts differ from the paper's testbed (see
+//! EXPERIMENTS.md); the *shape* — who wins, by roughly what factor —
+//! is what these harnesses regenerate.
+
+pub mod experiments;
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Opts {
+    /// Workload-size multiplier.
+    pub scale: f64,
+    /// Use the paper's full workload sizes.
+    pub paper: bool,
+    /// RNG seed override.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            scale: 1.0,
+            paper: false,
+            seed: 0x7AC0,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse from `std::env::args` (ignores unknown arguments).
+    pub fn from_args() -> Self {
+        let mut opts = Opts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.scale = v.parse().unwrap_or(opts.scale);
+                        i += 1;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1) {
+                        opts.seed = v.parse().unwrap_or(opts.seed);
+                        i += 1;
+                    }
+                }
+                "--paper" => opts.paper = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// Scale an integer size.
+    pub fn sized(&self, base: usize) -> usize {
+        ((base as f64) * self.scale).max(1.0) as usize
+    }
+}
+
+/// Render one labelled row of `(label, value)` pairs.
+pub fn row(label: &str, cols: &[(&str, String)]) -> String {
+    let mut s = format!("{label:<16}");
+    for (name, v) in cols {
+        s.push_str(&format!(" {name}={v}"));
+    }
+    s.push('\n');
+    s
+}
+
+/// Format a ratio as `x.xx×`.
+pub fn fx(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Format a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}

@@ -1,0 +1,518 @@
+//! Set-associative tag arrays with LRU / SRRIP / trrîp replacement.
+//!
+//! The arrays track timing-relevant state only; data lives in the backing
+//! store (`tako_mem::PhysMem`). Each entry carries:
+//!
+//! * `dirty` — needs a writeback on eviction,
+//! * `morph` — a Morph is registered for this line at this level, so
+//!   evicting it triggers a callback (set from the GET request's
+//!   registration bits, Sec 5.2),
+//! * `ready_at` — the cycle the fill (or the callback locking the line)
+//!   completes; accesses before this cycle stall until it,
+//! * `prefetched` — inserted by the prefetcher and not yet demanded,
+//! * `sharers` / `owner` — directory state, used only in LLC banks.
+//!
+//! ## trrîp
+//!
+//! trrîp is SRRIP \[62\] with two täkō-specific changes (Sec 5.2):
+//! engine-issued fills insert at the most distant RRPV so callback traffic
+//! does not pollute the cache, and victim selection preserves the
+//! invariant that **every set retains at least one line whose eviction
+//! triggers no callback** — otherwise a full callback buffer could
+//! deadlock the cache. [`CacheArray::insert`] upholds the invariant and a
+//! property test exercises it.
+
+use tako_mem::addr::{Addr, AddrRange};
+use tako_sim::config::{CacheConfig, ReplPolicy, LINE_BYTES};
+use tako_sim::Cycle;
+
+/// Maximum (most distant) re-reference prediction value for 2-bit RRIP.
+const RRPV_MAX: u8 = 3;
+/// Insertion RRPV for demand fills under (t)rrîp.
+const RRPV_LONG: u8 = 2;
+
+/// Who is inserting a line — determines insertion priority under trrîp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertKind {
+    /// Demand fill from a core-side access.
+    Demand,
+    /// Fill issued by the L2 stride prefetcher.
+    Prefetch,
+    /// Fill issued by a täkō engine executing a callback (inserted at
+    /// distant priority by trrîp to avoid pollution, Sec 5.2).
+    Engine,
+}
+
+/// One tag entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TagEntry {
+    /// Line-aligned address.
+    pub line: Addr,
+    /// Entry holds a valid line.
+    pub valid: bool,
+    /// Line differs from the next level / backing store.
+    pub dirty: bool,
+    /// A Morph is registered for this line at this cache level.
+    pub morph: bool,
+    /// Re-reference prediction value (RRIP policies).
+    pub rrpv: u8,
+    /// Last-touch stamp (LRU policy).
+    pub lru_stamp: u64,
+    /// Cycle at which the line's fill or locking callback completes.
+    pub ready_at: Cycle,
+    /// Inserted by the prefetcher and not yet demanded.
+    pub prefetched: bool,
+    /// Private caches: this tile holds the only copy (silent write hits).
+    pub exclusive: bool,
+    /// Directory: bitmask of tiles holding the line (LLC banks only).
+    pub sharers: u64,
+    /// Directory: tile holding the line modified, if any (LLC banks only).
+    pub owner: Option<u8>,
+}
+
+impl TagEntry {
+    fn invalid() -> Self {
+        TagEntry {
+            line: 0,
+            valid: false,
+            dirty: false,
+            morph: false,
+            rrpv: RRPV_MAX,
+            lru_stamp: 0,
+            ready_at: 0,
+            prefetched: false,
+            exclusive: false,
+            sharers: 0,
+            owner: None,
+        }
+    }
+}
+
+/// What fell out of the array on an insert or invalidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Line-aligned address of the victim.
+    pub line: Addr,
+    /// The victim was dirty (needs a writeback / onWriteback).
+    pub dirty: bool,
+    /// The victim had a Morph registered (needs a callback).
+    pub morph: bool,
+    /// The victim was prefetched and never demanded (wasted prefetch).
+    pub prefetched_unused: bool,
+    /// Directory state carried out of LLC banks: tiles holding copies.
+    pub sharers: u64,
+    /// Directory state carried out of LLC banks: modified owner.
+    pub owner: Option<u8>,
+}
+
+/// A set-associative cache tag array.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    cfg: CacheConfig,
+    sets: usize,
+    ways: usize,
+    index_shift: u32,
+    entries: Vec<TagEntry>,
+    stamp: u64,
+}
+
+impl CacheArray {
+    /// An empty array with `cfg`'s geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_index_shift(cfg, 0)
+    }
+
+    /// An empty array whose set index skips the low `index_shift` bits of
+    /// the line number. Banked caches (the LLC) select the bank from
+    /// those bits, so the bank's own index must not reuse them —
+    /// otherwise only `sets >> index_shift` sets are ever addressed.
+    pub fn with_index_shift(cfg: CacheConfig, index_shift: u32) -> Self {
+        let sets = cfg.sets() as usize;
+        let ways = cfg.ways as usize;
+        CacheArray {
+            cfg,
+            sets,
+            ways,
+            index_shift,
+            entries: vec![TagEntry::invalid(); sets * ways],
+            stamp: 0,
+        }
+    }
+
+    /// The geometry/timing configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, line: Addr) -> usize {
+        (((line / LINE_BYTES) >> self.index_shift) % self.sets as u64) as usize
+    }
+
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[TagEntry] {
+        &self.entries[set * self.ways..(set + 1) * self.ways]
+    }
+
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [TagEntry] {
+        &mut self.entries[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Find `line` in the array.
+    pub fn probe(&self, line: Addr) -> Option<&TagEntry> {
+        let set = self.set_of(line);
+        self.set_slice(set).iter().find(|e| e.valid && e.line == line)
+    }
+
+    /// Find `line` in the array, mutably.
+    pub fn probe_mut(&mut self, line: Addr) -> Option<&mut TagEntry> {
+        let set = self.set_of(line);
+        self.set_slice_mut(set)
+            .iter_mut()
+            .find(|e| e.valid && e.line == line)
+    }
+
+    /// Record a hit on `line`: promote it per the replacement policy and
+    /// clear its prefetched flag. Returns false if the line is absent.
+    pub fn touch(&mut self, line: Addr) -> bool {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let repl = self.cfg.repl;
+        match self.probe_mut(line) {
+            Some(e) => {
+                e.prefetched = false;
+                match repl {
+                    ReplPolicy::Lru => e.lru_stamp = stamp,
+                    ReplPolicy::Rrip | ReplPolicy::Trrip => e.rrpv = 0,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Choose a victim way in `set` for inserting a line with
+    /// `inserting_morph`. Prefers invalid ways; otherwise follows the
+    /// replacement policy; under trrîp, refuses to evict the set's last
+    /// callback-free line when the incoming line has a Morph.
+    fn victim(&mut self, set: usize, inserting_morph: bool) -> usize {
+        // trrîp deadlock avoidance (Sec 5.2): a Morph line may never
+        // consume the set's last callback-free way (invalid or plain).
+        if self.cfg.repl == ReplPolicy::Trrip && inserting_morph {
+            let s = self.set_slice(set);
+            let callback_free =
+                s.iter().filter(|e| !e.valid || !e.morph).count();
+            if callback_free <= 1 {
+                if let Some(w) = s
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.valid && e.morph)
+                    .max_by_key(|(_, e)| (e.rrpv, u64::MAX - e.lru_stamp))
+                    .map(|(w, _)| w)
+                {
+                    return w;
+                }
+            }
+        }
+        if let Some(w) = self.set_slice(set).iter().position(|e| !e.valid) {
+            return w;
+        }
+        let repl = self.cfg.repl;
+        let way = match repl {
+            ReplPolicy::Lru => self
+                .set_slice(set)
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru_stamp)
+                .map(|(w, _)| w)
+                .expect("set has ways"),
+            ReplPolicy::Rrip | ReplPolicy::Trrip => loop {
+                if let Some(w) = self
+                    .set_slice(set)
+                    .iter()
+                    .position(|e| e.rrpv >= RRPV_MAX)
+                {
+                    break w;
+                }
+                for e in self.set_slice_mut(set) {
+                    e.rrpv += 1;
+                }
+            },
+        };
+        way
+    }
+
+    /// Insert `line`, returning the evicted line if a valid one was
+    /// displaced. `ready_at` is when the fill (or the callback holding the
+    /// line locked) completes.
+    pub fn insert(
+        &mut self,
+        line: Addr,
+        dirty: bool,
+        morph: bool,
+        kind: InsertKind,
+        ready_at: Cycle,
+    ) -> Option<EvictedLine> {
+        debug_assert_eq!(line % LINE_BYTES, 0, "insert of unaligned line");
+        debug_assert!(
+            self.probe(line).is_none(),
+            "insert of already-present line"
+        );
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let set = self.set_of(line);
+        let way = self.victim(set, morph);
+        let repl = self.cfg.repl;
+        let e = &mut self.set_slice_mut(set)[way];
+        let evicted = e.valid.then_some(EvictedLine {
+            line: e.line,
+            dirty: e.dirty,
+            morph: e.morph,
+            prefetched_unused: e.prefetched,
+            sharers: e.sharers,
+            owner: e.owner,
+        });
+        let rrpv = match (repl, kind) {
+            (ReplPolicy::Trrip, InsertKind::Engine) => RRPV_MAX,
+            _ => RRPV_LONG,
+        };
+        *e = TagEntry {
+            line,
+            valid: true,
+            dirty,
+            morph,
+            rrpv,
+            lru_stamp: stamp,
+            ready_at,
+            prefetched: kind == InsertKind::Prefetch,
+            exclusive: false,
+            sharers: 0,
+            owner: None,
+        };
+        evicted
+    }
+
+    /// Remove `line` if present, returning its eviction record.
+    pub fn invalidate(&mut self, line: Addr) -> Option<EvictedLine> {
+        let set = self.set_of(line);
+        let e = self
+            .set_slice_mut(set)
+            .iter_mut()
+            .find(|e| e.valid && e.line == line)?;
+        let ev = EvictedLine {
+            line: e.line,
+            dirty: e.dirty,
+            morph: e.morph,
+            prefetched_unused: e.prefetched,
+            sharers: e.sharers,
+            owner: e.owner,
+        };
+        *e = TagEntry::invalid();
+        Some(ev)
+    }
+
+    /// All valid lines whose address falls in `range` (used by flushData's
+    /// tag-array walk, Sec 4.4).
+    pub fn lines_in_range(&self, range: AddrRange) -> Vec<Addr> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && range.contains(e.line))
+            .map(|e| e.line)
+            .collect()
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Check the trrîp deadlock-avoidance invariant: no set consists
+    /// entirely of Morph-registered valid lines. (Vacuously true for sets
+    /// with an invalid way.)
+    pub fn morph_invariant_holds(&self) -> bool {
+        (0..self.sets).all(|s| {
+            self.set_slice(s)
+                .iter()
+                .any(|e| !e.valid || !e.morph)
+        })
+    }
+
+    /// Iterate over all valid entries.
+    pub fn iter(&self) -> impl Iterator<Item = &TagEntry> {
+        self.entries.iter().filter(|e| e.valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny(repl: ReplPolicy) -> CacheArray {
+        // 4 sets x 2 ways.
+        CacheArray::new(CacheConfig {
+            size_bytes: 8 * LINE_BYTES,
+            ways: 2,
+            tag_latency: 1,
+            data_latency: 1,
+            repl,
+        })
+    }
+
+    fn line(set: u64, k: u64) -> Addr {
+        (set + 4 * k) * LINE_BYTES
+    }
+
+    #[test]
+    fn insert_probe_touch() {
+        let mut a = tiny(ReplPolicy::Lru);
+        assert!(a.insert(line(0, 0), false, false, InsertKind::Demand, 0).is_none());
+        assert!(a.probe(line(0, 0)).is_some());
+        assert!(a.touch(line(0, 0)));
+        assert!(!a.touch(line(1, 0)));
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut a = tiny(ReplPolicy::Lru);
+        a.insert(line(0, 0), false, false, InsertKind::Demand, 0);
+        a.insert(line(0, 1), true, false, InsertKind::Demand, 0);
+        a.touch(line(0, 0)); // 0 is now MRU
+        let ev = a
+            .insert(line(0, 2), false, false, InsertKind::Demand, 0)
+            .expect("eviction");
+        assert_eq!(ev.line, line(0, 1));
+        assert!(ev.dirty);
+    }
+
+    #[test]
+    fn rrip_promotes_on_hit() {
+        let mut a = tiny(ReplPolicy::Rrip);
+        a.insert(line(0, 0), false, false, InsertKind::Demand, 0);
+        a.insert(line(0, 1), false, false, InsertKind::Demand, 0);
+        a.touch(line(0, 0)); // rrpv -> 0
+        let ev = a
+            .insert(line(0, 2), false, false, InsertKind::Demand, 0)
+            .expect("eviction");
+        assert_eq!(ev.line, line(0, 1));
+    }
+
+    #[test]
+    fn trrip_engine_fills_evict_first() {
+        let mut a = tiny(ReplPolicy::Trrip);
+        a.insert(line(0, 0), false, false, InsertKind::Demand, 0);
+        a.insert(line(0, 1), false, false, InsertKind::Engine, 0);
+        // Engine fill sits at distant RRPV: it is the next victim even
+        // though it was inserted more recently.
+        let ev = a
+            .insert(line(0, 2), false, false, InsertKind::Demand, 0)
+            .expect("eviction");
+        assert_eq!(ev.line, line(0, 1));
+    }
+
+    #[test]
+    fn trrip_preserves_callback_free_line() {
+        let mut a = tiny(ReplPolicy::Trrip);
+        a.insert(line(0, 0), false, true, InsertKind::Demand, 0);
+        a.insert(line(0, 1), false, false, InsertKind::Demand, 0);
+        a.touch(line(0, 1)); // plain line is MRU; naive policy would evict 0...
+        a.touch(line(0, 0)); // now morph line is MRU; victim would be plain line 1
+        let ev = a
+            .insert(line(0, 2), false, true, InsertKind::Demand, 0)
+            .expect("eviction");
+        // Inserting a Morph line must not evict the last plain line.
+        assert_eq!(ev.line, line(0, 0));
+        assert!(a.morph_invariant_holds());
+    }
+
+    #[test]
+    fn invalidate_returns_state() {
+        let mut a = tiny(ReplPolicy::Lru);
+        a.insert(line(2, 0), true, true, InsertKind::Demand, 0);
+        let ev = a.invalidate(line(2, 0)).expect("present");
+        assert!(ev.dirty && ev.morph);
+        assert!(a.probe(line(2, 0)).is_none());
+        assert!(a.invalidate(line(2, 0)).is_none());
+    }
+
+    #[test]
+    fn prefetched_flag_lifecycle() {
+        let mut a = tiny(ReplPolicy::Trrip);
+        a.insert(line(1, 0), false, false, InsertKind::Prefetch, 50);
+        assert!(a.probe(line(1, 0)).expect("present").prefetched);
+        a.touch(line(1, 0));
+        assert!(!a.probe(line(1, 0)).expect("present").prefetched);
+    }
+
+    #[test]
+    fn lines_in_range_walk() {
+        let mut a = tiny(ReplPolicy::Lru);
+        a.insert(0, false, false, InsertKind::Demand, 0);
+        a.insert(64, false, false, InsertKind::Demand, 0);
+        a.insert(4096, false, false, InsertKind::Demand, 0);
+        let mut got = a.lines_in_range(AddrRange::new(0, 128));
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 64]);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+            let mut a = tiny(ReplPolicy::Trrip);
+            for (k, morph) in ops {
+                let addr = k * LINE_BYTES;
+                if a.probe(addr).is_some() {
+                    a.touch(addr);
+                } else {
+                    a.insert(addr, false, morph, InsertKind::Demand, 0);
+                }
+                prop_assert!(a.occupancy() <= 8);
+            }
+        }
+
+        #[test]
+        fn trrip_morph_invariant(ops in proptest::collection::vec((0u64..32, any::<bool>(), any::<bool>()), 1..300)) {
+            let mut a = tiny(ReplPolicy::Trrip);
+            for (k, morph, engine) in ops {
+                let addr = k * LINE_BYTES;
+                if a.probe(addr).is_none() {
+                    let kind = if engine { InsertKind::Engine } else { InsertKind::Demand };
+                    a.insert(addr, false, morph, kind, 0);
+                } else {
+                    a.touch(addr);
+                }
+                prop_assert!(a.morph_invariant_holds());
+            }
+        }
+
+        #[test]
+        fn dirty_state_survives_until_eviction(k in 0u64..16) {
+            let mut a = tiny(ReplPolicy::Lru);
+            let addr = k * LINE_BYTES;
+            let set = k % 4;
+            a.insert(addr, true, false, InsertKind::Demand, 0);
+            // Thrash the same set until addr is displaced; its eviction
+            // record must still report dirty.
+            let mut seen_dirty = false;
+            for j in 1..8u64 {
+                let other = (set + 4 * (k + j)) * LINE_BYTES;
+                if a.probe(other).is_some() {
+                    continue;
+                }
+                if let Some(ev) = a.insert(other, false, false, InsertKind::Demand, 0) {
+                    if ev.line == addr {
+                        prop_assert!(ev.dirty);
+                        seen_dirty = true;
+                    }
+                }
+            }
+            if let Some(e) = a.probe(addr) {
+                prop_assert!(e.dirty);
+            } else {
+                prop_assert!(seen_dirty);
+            }
+        }
+    }
+}

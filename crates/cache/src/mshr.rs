@@ -1,0 +1,180 @@
+//! Miss-status holding registers.
+//!
+//! An [`MshrFile`] tracks outstanding fills at one cache: a primary miss
+//! allocates an entry, secondary misses to the same line merge into it,
+//! and the file bounds the number of concurrently outstanding lines.
+//! täkō additionally requires that at least one MSHR is never consumed by
+//! a request waiting on a callback (Sec 5.2's forward-progress rule);
+//! [`MshrFile::try_alloc`] enforces the reservation.
+
+use std::collections::HashMap;
+
+use tako_mem::addr::Addr;
+use tako_sim::Cycle;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated: issue the fill down the hierarchy.
+    Primary,
+    /// The line is already being fetched; this miss merged. The payload is
+    /// the completion cycle of the in-flight fill.
+    Secondary(Cycle),
+    /// No entry available: the request must stall.
+    Full,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    completes_at: Cycle,
+    for_callback: bool,
+}
+
+/// A bounded file of outstanding misses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<Addr, Entry>,
+}
+
+impl MshrFile {
+    /// A file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Present a miss on `line`. `for_callback` marks requests that wait
+    /// on a täkō callback; these may never occupy the last free entry.
+    pub fn try_alloc(
+        &mut self,
+        line: Addr,
+        completes_at: Cycle,
+        for_callback: bool,
+    ) -> MshrOutcome {
+        if let Some(e) = self.entries.get(&line) {
+            return MshrOutcome::Secondary(e.completes_at);
+        }
+        let used = self.entries.len();
+        let limit = if for_callback {
+            self.capacity - 1
+        } else {
+            self.capacity
+        };
+        if used >= limit {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(
+            line,
+            Entry {
+                completes_at,
+                for_callback,
+            },
+        );
+        MshrOutcome::Primary
+    }
+
+    /// Retire all entries whose fill completed at or before `now`;
+    /// returns the earliest completion among the retired (if any).
+    pub fn drain(&mut self, now: Cycle) -> Option<Cycle> {
+        let done: Vec<Addr> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.completes_at <= now)
+            .map(|(a, _)| *a)
+            .collect();
+        let mut earliest = None;
+        for a in done {
+            if let Some(e) = self.entries.remove(&a) {
+                earliest = Some(match earliest {
+                    None => e.completes_at,
+                    Some(x) => e.completes_at.min(x),
+                });
+            }
+        }
+        earliest
+    }
+
+    /// Completion cycle of the in-flight fill for `line`, if any.
+    pub fn inflight(&self, line: Addr) -> Option<Cycle> {
+        self.entries.get(&line).map(|e| e.completes_at)
+    }
+
+    /// Number of outstanding entries held by callback-waiting requests.
+    pub fn callback_entries(&self) -> usize {
+        self.entries.values().filter(|e| e.for_callback).count()
+    }
+
+    /// Earliest completion among all outstanding fills (what a stalled
+    /// request should wait for).
+    pub fn earliest_completion(&self) -> Option<Cycle> {
+        self.entries.values().map(|e| e.completes_at).min()
+    }
+
+    /// Number of outstanding entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no fills are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_then_secondary() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.try_alloc(64, 100, false), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(64, 999, false), MshrOutcome::Secondary(100));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bound() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.try_alloc(0, 10, false), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(64, 10, false), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(128, 10, false), MshrOutcome::Full);
+    }
+
+    #[test]
+    fn callback_reservation() {
+        let mut m = MshrFile::new(2);
+        // A callback-waiting request may not take the last entry.
+        assert_eq!(m.try_alloc(0, 10, true), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(64, 10, true), MshrOutcome::Full);
+        // ...but a plain request may.
+        assert_eq!(m.try_alloc(64, 10, false), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn drain_retires_completed() {
+        let mut m = MshrFile::new(4);
+        m.try_alloc(0, 10, false);
+        m.try_alloc(64, 20, false);
+        assert_eq!(m.drain(15), Some(10));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.inflight(64), Some(20));
+        assert_eq!(m.earliest_completion(), Some(20));
+        m.drain(25);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        MshrFile::new(0);
+    }
+}

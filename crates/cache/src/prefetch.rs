@@ -1,0 +1,184 @@
+//! L2 stride prefetcher (Table 3).
+//!
+//! A small table of streams indexed by 4 KB region. When consecutive
+//! demand accesses within a region exhibit a constant line-granularity
+//! stride for `train_threshold` accesses, the prefetcher emits up to
+//! `degree` line addresses ahead of the demand stream.
+//!
+//! In the HATS case study (Sec 8.2) this component is what decouples the
+//! engine from the core: prefetches into the phantom stream range miss in
+//! the L2 and trigger `onMiss`, so the engine fills future edges while the
+//! core processes the present ones ("while the core processes one part of
+//! the stream, the prefetcher triggers onMiss for subsequent edges").
+
+use tako_mem::addr::{line_of, Addr};
+use tako_sim::config::{PrefetchConfig, LINE_BYTES};
+
+const REGION_BITS: u32 = 12;
+const TABLE_SLOTS: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    region: u64,
+    last_line: Addr,
+    stride: i64,
+    confidence: u32,
+    lru: u64,
+}
+
+/// A per-cache stride prefetcher.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    cfg: PrefetchConfig,
+    streams: Vec<Stream>,
+    clock: u64,
+}
+
+impl StridePrefetcher {
+    /// A prefetcher with `cfg`'s training/degree parameters.
+    pub fn new(cfg: PrefetchConfig) -> Self {
+        StridePrefetcher {
+            cfg,
+            streams: Vec::with_capacity(TABLE_SLOTS),
+            clock: 0,
+        }
+    }
+
+    /// Observe a demand access and return the line addresses to prefetch
+    /// (empty if disabled, untrained, or stride zero).
+    pub fn observe(&mut self, addr: Addr) -> Vec<Addr> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        self.clock += 1;
+        let line = line_of(addr);
+        let region = addr >> REGION_BITS;
+        let clock = self.clock;
+        let cfg = self.cfg;
+
+        if let Some(s) = self.streams.iter_mut().find(|s| s.region == region) {
+            s.lru = clock;
+            let stride = line as i64 - s.last_line as i64;
+            if stride == 0 {
+                return Vec::new();
+            }
+            if stride == s.stride {
+                s.confidence += 1;
+            } else {
+                s.stride = stride;
+                s.confidence = 1;
+            }
+            s.last_line = line;
+            if s.confidence >= cfg.train_threshold {
+                let stride = s.stride;
+                return (1..=cfg.degree as i64)
+                    .filter_map(|k| {
+                        line.checked_add_signed(stride * k).map(line_of)
+                    })
+                    .collect();
+            }
+            return Vec::new();
+        }
+
+        // Allocate a new stream, evicting the LRU slot if full.
+        let s = Stream {
+            region,
+            last_line: line,
+            stride: LINE_BYTES as i64,
+            confidence: 0,
+            lru: clock,
+        };
+        if self.streams.len() < TABLE_SLOTS {
+            self.streams.push(s);
+        } else if let Some(victim) =
+            self.streams.iter_mut().min_by_key(|s| s.lru)
+        {
+            *victim = s;
+        }
+        Vec::new()
+    }
+
+    /// Forget all trained streams (e.g., on a Morph flush).
+    pub fn reset(&mut self) {
+        self.streams.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pf() -> StridePrefetcher {
+        StridePrefetcher::new(PrefetchConfig::default())
+    }
+
+    #[test]
+    fn trains_on_sequential_stream() {
+        let mut p = pf();
+        assert!(p.observe(0).is_empty());
+        assert!(p.observe(64).is_empty()); // confidence 1
+        let out = p.observe(128); // confidence 2 == threshold
+        assert_eq!(out, vec![192, 256, 320, 384]);
+    }
+
+    #[test]
+    fn trains_on_negative_stride() {
+        let mut p = pf();
+        p.observe(1024);
+        p.observe(960);
+        let out = p.observe(896);
+        assert_eq!(out, vec![832, 768, 704, 640]);
+    }
+
+    #[test]
+    fn same_line_reaccess_is_ignored() {
+        let mut p = pf();
+        p.observe(0);
+        p.observe(64);
+        assert!(p.observe(64).is_empty());
+        // Stream remains trained on stride 64.
+        assert_eq!(p.observe(128).len(), 4);
+    }
+
+    #[test]
+    fn irregular_stream_never_fires() {
+        let mut p = pf();
+        p.observe(0);
+        for addr in [64, 320, 128, 3776, 512] {
+            assert!(p.observe(addr).is_empty());
+        }
+    }
+
+    #[test]
+    fn disabled_prefetcher_silent() {
+        let mut p = StridePrefetcher::new(PrefetchConfig {
+            enabled: false,
+            ..PrefetchConfig::default()
+        });
+        p.observe(0);
+        p.observe(64);
+        assert!(p.observe(128).is_empty());
+    }
+
+    #[test]
+    fn reset_forgets_training() {
+        let mut p = pf();
+        p.observe(0);
+        p.observe(64);
+        p.reset();
+        assert!(p.observe(128).is_empty()); // retrains from scratch
+        assert!(p.observe(192).is_empty());
+        assert!(!p.observe(256).is_empty());
+    }
+
+    #[test]
+    fn table_capacity_evicts_lru() {
+        let mut p = pf();
+        // Fill the table with TABLE_SLOTS distinct regions.
+        for r in 0..TABLE_SLOTS as u64 + 4 {
+            p.observe(r << REGION_BITS);
+        }
+        // Oldest streams were evicted; table keeps working.
+        assert!(p.observe((1u64 << REGION_BITS) + 64).len() <= 4);
+    }
+}

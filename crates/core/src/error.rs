@@ -1,0 +1,90 @@
+//! Error type for the täkō programming interface.
+
+use std::error::Error;
+use std::fmt;
+
+use tako_mem::addr::AddrRange;
+
+/// Errors returned by Morph registration and management (Sec 4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TakoError {
+    /// `registerReal`/`registerPhantom` on a range that already has a
+    /// Morph — täkō allows only one Morph per address at a time.
+    RangeOverlap {
+        /// The range the caller tried to register.
+        requested: AddrRange,
+        /// The existing registration it collides with.
+        existing: AddrRange,
+    },
+    /// The handle does not name a currently registered Morph.
+    NotRegistered,
+    /// The Morph's callbacks need more static instructions than the
+    /// engine fabric can hold (Table 2: 25 PEs × 16 instructions).
+    FabricCapacity {
+        /// Instructions the Morph requires.
+        required: u32,
+        /// Instructions the fabric provides.
+        available: u32,
+    },
+    /// A zero-sized range was requested.
+    EmptyRange,
+}
+
+impl fmt::Display for TakoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TakoError::RangeOverlap {
+                requested,
+                existing,
+            } => write!(
+                f,
+                "range {:#x}+{} overlaps a registered Morph at {:#x}+{}",
+                requested.base, requested.size, existing.base, existing.size
+            ),
+            TakoError::NotRegistered => {
+                write!(f, "no Morph registered under this handle")
+            }
+            TakoError::FabricCapacity {
+                required,
+                available,
+            } => write!(
+                f,
+                "Morph needs {required} fabric instructions but only \
+                 {available} are available"
+            ),
+            TakoError::EmptyRange => write!(f, "requested range is empty"),
+        }
+    }
+}
+
+impl Error for TakoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TakoError::RangeOverlap {
+            requested: AddrRange::new(0x100, 64),
+            existing: AddrRange::new(0x80, 256),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("overlaps"));
+        assert!(TakoError::NotRegistered.to_string().contains("no Morph"));
+        assert!(TakoError::FabricCapacity {
+            required: 500,
+            available: 400
+        }
+        .to_string()
+        .contains("500"));
+        assert!(TakoError::EmptyRange.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TakoError>();
+    }
+}

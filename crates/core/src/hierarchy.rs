@@ -1,0 +1,1208 @@
+//! The assembled memory hierarchy with täkō interposition (Sec 5).
+//!
+//! [`Hierarchy`] owns every timing-relevant component of the tiled CMP:
+//! per-tile L1d/L2/prefetcher, the banked inclusive LLC with an in-tag
+//! directory, the mesh, the DRAM controllers, the per-tile engines, the
+//! Morph registry, and the backing store. All agents — cores, engines,
+//! prefetchers — walk the same arrays, so locality, pollution, and
+//! contention interact exactly as they would in hardware.
+//!
+//! The walk implements the paper's semantics:
+//!
+//! * Misses on a Morph's range invoke `onMiss` at the registered level's
+//!   engine. Phantom lines are materialized by the callback alone (no
+//!   memory access); real lines fetch in parallel with the callback.
+//! * Evictions invoke `onEviction`/`onWriteback` *off the critical path*
+//!   of the evicting access; phantom victims are then discarded, real
+//!   dirty victims written back after the callback interposes.
+//! * The triggering line is locked for the duration of the callback
+//!   (enforced by the engine scheduler + the line's `ready_at`).
+//! * Remote memory operations on a SHARED Morph execute directly at the
+//!   owning LLC bank (PHI's push updates, Sec 8.1).
+//! * Engine-issued fills insert at trrîp's distant priority, and every
+//!   set keeps a callback-free line (deadlock avoidance).
+
+use tako_cache::array::{CacheArray, InsertKind};
+use tako_cache::prefetch::StridePrefetcher;
+use tako_cpu::AccessKind;
+use tako_mem::addr::{is_phantom, line_of, Addr, AddrRange};
+use tako_mem::backing::PhysMem;
+use tako_mem::dram::Dram;
+use tako_noc::{Mesh, Payload};
+use tako_sim::config::{SystemConfig, LINE_BYTES};
+use tako_sim::stats::{Counter, Stats};
+use tako_sim::{Cycle, TileId};
+
+use crate::ctx::EngineCtx;
+use crate::engine::Engine;
+use crate::morph::{CallbackKind, MorphId, MorphLevel, MorphRegistry};
+
+/// A user-space interrupt raised by a callback (Sec 4.3 / Sec 8.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupt {
+    /// Tile whose thread is interrupted (the Morph's registering tile).
+    pub tile: TileId,
+    /// Cycle the interrupt was raised.
+    pub cycle: Cycle,
+    /// The cache line whose event triggered it.
+    pub line: Addr,
+}
+
+/// Per-tile private components.
+#[derive(Debug)]
+pub struct Tile {
+    /// L1 data cache.
+    pub l1d: CacheArray,
+    /// Private L2.
+    pub l2: CacheArray,
+    /// L2 stride prefetcher.
+    pub prefetcher: StridePrefetcher,
+}
+
+/// The full simulated memory system.
+pub struct Hierarchy {
+    /// System parameters.
+    pub cfg: SystemConfig,
+    /// Event counters and histograms.
+    pub stats: Stats,
+    /// Functional backing store (real *and* phantom data).
+    pub mem: PhysMem,
+    /// Off-chip memory timing.
+    pub dram: Dram,
+    /// Mesh interconnect.
+    pub mesh: Mesh,
+    /// Per-tile private caches.
+    pub tiles: Vec<Tile>,
+    /// LLC banks (one per tile), inclusive, with in-tag directory.
+    pub llc: Vec<CacheArray>,
+    llc_next_free: Vec<Cycle>,
+    /// Registered Morphs (the TLB bits + OS table).
+    pub registry: MorphRegistry,
+    /// Per-tile engines; `None` while checked out to run a callback.
+    pub engines: Vec<Option<Engine>>,
+    /// Interrupts raised by callbacks, awaiting delivery.
+    pub interrupts: Vec<Interrupt>,
+    /// Callbacks whose Morph was busy when they triggered (a callback's
+    /// own memory traffic evicted another line of the same Morph). The
+    /// evicted line sits in the writeback buffer until the engine frees
+    /// up (Sec 5.2); we run them as soon as the running callback ends.
+    pending_callbacks: Vec<(TileId, MorphId, CallbackKind, Addr, Cycle)>,
+    callback_depth: usize,
+}
+
+impl Hierarchy {
+    /// Build an idle system from `cfg`.
+    pub fn new(cfg: SystemConfig) -> Self {
+        let tiles = (0..cfg.tiles)
+            .map(|_| Tile {
+                l1d: CacheArray::new(cfg.l1d),
+                l2: CacheArray::new(cfg.l2),
+                prefetcher: StridePrefetcher::new(cfg.prefetch),
+            })
+            .collect();
+        // LLC banks are selected by the low line-number bits; each
+        // bank's set index must skip them.
+        let bank_bits = (cfg.tiles as u64).trailing_zeros();
+        let llc = (0..cfg.tiles)
+            .map(|_| CacheArray::with_index_shift(cfg.llc_bank, bank_bits))
+            .collect();
+        let engines = (0..cfg.tiles)
+            .map(|_| Some(Engine::new(cfg.engine)))
+            .collect();
+        Hierarchy {
+            stats: Stats::new(),
+            mem: PhysMem::new(),
+            dram: Dram::new(cfg.mem),
+            mesh: Mesh::new(cfg.mesh, cfg.noc),
+            tiles,
+            llc,
+            llc_next_free: vec![0; cfg.tiles],
+            registry: MorphRegistry::new(),
+            engines,
+            interrupts: Vec::new(),
+            pending_callbacks: Vec::new(),
+            callback_depth: 0,
+            cfg,
+        }
+    }
+
+    /// Zero a line in the backing store (the controller zeroes phantom
+    /// lines before invoking onMiss, Sec 4.3).
+    pub fn zero_line(&mut self, line: Addr) {
+        self.mem.write_bytes(line, &[0u8; LINE_BYTES as usize]);
+    }
+
+    #[inline]
+    fn bank_start(&mut self, bank: usize, t: Cycle) -> Cycle {
+        let start = t.max(self.llc_next_free[bank]);
+        self.llc_next_free[bank] = start + 1;
+        start
+    }
+
+    fn sharer_tiles(mask: u64) -> impl Iterator<Item = usize> {
+        (0..64).filter(move |i| mask & (1 << i) != 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Callback execution
+    // ------------------------------------------------------------------
+
+    /// Run `kind` for `morph_id` on `line` at `engine_tile`'s engine,
+    /// arriving at `arrival`. Returns the callback's completion cycle.
+    /// Once the outermost callback finishes, any events deferred while
+    /// its Morph was busy are drained.
+    pub fn run_callback(
+        &mut self,
+        engine_tile: TileId,
+        morph_id: MorphId,
+        kind: CallbackKind,
+        line: Addr,
+        arrival: Cycle,
+    ) -> Cycle {
+        let done = self.run_callback_inner(engine_tile, morph_id, kind, line, arrival);
+        while self.callback_depth == 0 {
+            let Some((t, m, k, l, a)) = self.pending_callbacks.pop() else {
+                break;
+            };
+            self.run_callback_inner(t, m, k, l, a.max(done));
+        }
+        done
+    }
+
+    fn run_callback_inner(
+        &mut self,
+        engine_tile: TileId,
+        morph_id: MorphId,
+        kind: CallbackKind,
+        line: Addr,
+        arrival: Cycle,
+    ) -> Cycle {
+        let Some(entry) = self.registry.entry(morph_id) else {
+            return arrival;
+        };
+        let range = entry.range;
+        let level = entry.level;
+        let home_tile = entry.home_tile;
+        let Some(mut morph) = self.registry.checkout(morph_id) else {
+            // The Morph is mid-callback and this event was triggered by
+            // that callback's own traffic: the line waits in the
+            // writeback buffer and the event runs when the engine frees.
+            self.pending_callbacks
+                .push((engine_tile, morph_id, kind, line, arrival));
+            return arrival;
+        };
+        self.callback_depth += 1;
+        // The paper sequentializes HATS's onMiss calls (Sec 8.2);
+        // eviction-side callbacks interleave freely.
+        let serialize =
+            morph.serialize_callbacks() && kind == CallbackKind::OnMiss;
+        // Take the engine out so the callback context can borrow both the
+        // engine's fabric/L1d and the rest of the hierarchy. If this
+        // engine is itself mid-callback (nested event on the same tile),
+        // run on a transient engine with the same resources.
+        let taken = self.engines[engine_tile].take();
+        let is_temp = taken.is_none();
+        let mut engine =
+            taken.unwrap_or_else(|| Engine::new(self.cfg.engine));
+        let start =
+            engine.admit(morph_id, line, arrival, serialize, &mut self.stats);
+        self.stats.bump(match kind {
+            CallbackKind::OnMiss => Counter::CbOnMiss,
+            CallbackKind::OnEviction => Counter::CbOnEviction,
+            CallbackKind::OnWriteback => Counter::CbOnWriteback,
+        });
+        let result = {
+            let mut ctx = EngineCtx::new(
+                self,
+                &mut engine,
+                start,
+                engine_tile,
+                home_tile,
+                line,
+                kind,
+                range,
+                level,
+                morph_id,
+            );
+            match kind {
+                CallbackKind::OnMiss => morph.on_miss(&mut ctx),
+                CallbackKind::OnEviction => morph.on_eviction(&mut ctx),
+                CallbackKind::OnWriteback => morph.on_writeback(&mut ctx),
+            }
+            ctx.finish()
+        };
+        self.stats.add(Counter::EngineInstr, result.instrs);
+        self.stats.add(Counter::EngineMemOp, result.mem_ops);
+        engine.complete(
+            morph_id,
+            line,
+            start,
+            result.completion,
+            serialize,
+            &mut self.stats,
+        );
+        if !is_temp {
+            self.engines[engine_tile] = Some(engine);
+        }
+        self.registry.checkin(morph_id, morph);
+        self.callback_depth -= 1;
+        result.completion
+    }
+
+    // ------------------------------------------------------------------
+    // Shared level (LLC + memory)
+    // ------------------------------------------------------------------
+
+    /// Fetch `line` through the LLC for requester `tile`. Returns
+    /// `(completion, exclusive)`: the cycle the line arrives at the
+    /// requester's L2 edge, and whether no other tile holds a copy.
+    /// `track_sharer` is false for engine fills (engine L1ds are
+    /// cluster-coherent with their tile, not directory-tracked).
+    fn fetch_shared(
+        &mut self,
+        tile: TileId,
+        write: bool,
+        line: Addr,
+        t: Cycle,
+        insert_kind: InsertKind,
+        track_sharer: bool,
+    ) -> (Cycle, Cycle, bool) {
+        let bank = self.mesh.bank_of_line(line);
+        let mut t =
+            t + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
+        t = self.bank_start(bank, t) + self.cfg.llc_bank.tag_latency;
+
+        let probe = self.llc[bank].probe(line).map(|e| {
+            (e.ready_at, e.owner, e.sharers, e.morph)
+        });
+        let exclusive;
+        match probe {
+            Some((ready_at, owner, sharers, _morph)) => {
+                self.stats.bump(Counter::LlcHit);
+                t = t.max(ready_at);
+                // Dirty data lives in another tile's L2: fetch & downgrade.
+                if let Some(o) = owner {
+                    let o = o as usize;
+                    if o != tile {
+                        t += self.mesh.transfer(
+                            bank,
+                            o,
+                            Payload::Control,
+                            &mut self.stats,
+                        ) + self.cfg.l2.data_latency
+                            + self.mesh.transfer(
+                                o,
+                                bank,
+                                Payload::Line,
+                                &mut self.stats,
+                            );
+                        if let Some(le) = self.tiles[o].l2.probe_mut(line) {
+                            le.dirty = false;
+                            le.exclusive = false;
+                        }
+                        if let Some(le) = self.tiles[o].l1d.probe_mut(line) {
+                            le.dirty = false;
+                        }
+                        let e = self.llc[bank]
+                            .probe_mut(line)
+                            .expect("line probed above");
+                        e.dirty = true;
+                        e.owner = None;
+                    }
+                }
+                if write {
+                    let others = sharers & !(1u64 << tile);
+                    let mut inval_lat = 0;
+                    for s in Self::sharer_tiles(others) {
+                        self.stats.bump(Counter::CoherenceInval);
+                        let mut d = false;
+                        if let Some(ev) = self.tiles[s].l1d.invalidate(line) {
+                            d |= ev.dirty;
+                        }
+                        if let Some(ev) = self.tiles[s].l2.invalidate(line) {
+                            d |= ev.dirty;
+                        }
+                        let hop = self.mesh.transfer(
+                            bank,
+                            s,
+                            Payload::Control,
+                            &mut self.stats,
+                        );
+                        inval_lat = inval_lat.max(hop);
+                        if d {
+                            if let Some(e) = self.llc[bank].probe_mut(line) {
+                                e.dirty = true;
+                            }
+                        }
+                    }
+                    t += inval_lat;
+                    let e = self.llc[bank]
+                        .probe_mut(line)
+                        .expect("line probed above");
+                    e.sharers = if track_sharer { 1 << tile } else { 0 };
+                    e.owner = track_sharer.then_some(tile as u8);
+                    exclusive = true;
+                } else {
+                    let e = self.llc[bank]
+                        .probe_mut(line)
+                        .expect("line probed above");
+                    if track_sharer {
+                        e.sharers |= 1 << tile;
+                    }
+                    exclusive = e.sharers & !(1u64 << tile) == 0
+                        && e.owner.is_none();
+                }
+                self.llc[bank].touch(line);
+                t += self.cfg.llc_bank.data_latency;
+            }
+            None => {
+                self.stats.bump(Counter::LlcMiss);
+                let morph = self.registry.lookup(line);
+                let (ready, is_morph) = match morph {
+                    Some((id, MorphLevel::Shared)) => {
+                        if is_phantom(line) {
+                            self.zero_line(line);
+                            let cb = self.run_callback(
+                                bank,
+                                id,
+                                CallbackKind::OnMiss,
+                                line,
+                                t,
+                            );
+                            (cb, true)
+                        } else {
+                            // onMiss runs in parallel with the fetch.
+                            let mem =
+                                self.dram.read_line(line, t, &mut self.stats);
+                            let cb = self.run_callback(
+                                bank,
+                                id,
+                                CallbackKind::OnMiss,
+                                line,
+                                t,
+                            );
+                            (mem.max(cb), true)
+                        }
+                    }
+                    _ => {
+                        if is_phantom(line) {
+                            // A shared phantom line with no Morph (e.g.
+                            // after unregistration): materialize zeroes.
+                            (t, false)
+                        } else {
+                            (self.dram.read_line(line, t, &mut self.stats), false)
+                        }
+                    }
+                };
+                if let Some(ev) =
+                    self.llc[bank].insert(line, false, is_morph, insert_kind, ready)
+                {
+                    self.handle_llc_evict(bank, ev, t);
+                }
+                let e = self.llc[bank]
+                    .probe_mut(line)
+                    .expect("just inserted");
+                if track_sharer {
+                    e.sharers = 1 << tile;
+                    e.owner = write.then_some(tile as u8);
+                }
+                exclusive = true;
+                t = ready + self.cfg.llc_bank.data_latency;
+            }
+        }
+        let resp =
+            self.mesh.transfer(bank, tile, Payload::Line, &mut self.stats);
+        (t + resp, t, exclusive)
+    }
+
+    /// Handle an LLC bank eviction: inclusive invalidation of private
+    /// copies, SHARED-Morph callbacks, and the writeback (Table 1).
+    fn handle_llc_evict(
+        &mut self,
+        bank: usize,
+        ev: tako_cache::EvictedLine,
+        t: Cycle,
+    ) {
+        self.stats.bump(Counter::LlcEviction);
+        let mut dirty = ev.dirty;
+        for s in Self::sharer_tiles(ev.sharers) {
+            self.stats.bump(Counter::CoherenceInval);
+            if let Some(l1ev) = self.tiles[s].l1d.invalidate(ev.line) {
+                dirty |= l1ev.dirty;
+            }
+            if let Some(l2ev) = self.tiles[s].l2.invalidate(ev.line) {
+                dirty |= l2ev.dirty;
+            }
+        }
+        if ev.morph {
+            if let Some((id, _)) = self.registry.lookup(ev.line) {
+                let kind = if dirty {
+                    CallbackKind::OnWriteback
+                } else {
+                    CallbackKind::OnEviction
+                };
+                // Off the critical path: the evicting access proceeds.
+                self.run_callback(bank, id, kind, ev.line, t);
+            }
+            if is_phantom(ev.line) {
+                return; // phantom lines are discarded after the callback
+            }
+        }
+        if dirty {
+            self.stats.bump(Counter::LlcWriteback);
+            self.dram.write_line(ev.line, t, &mut self.stats);
+        }
+    }
+
+    /// Write a dirty line from a tile's L2 (or engine L1d) back to the
+    /// LLC; phantom (SHARED-Morph) lines re-insert, real lines mark dirty.
+    fn writeback_to_llc(&mut self, tile: TileId, line: Addr, t: Cycle) {
+        let bank = self.mesh.bank_of_line(line);
+        let t = t
+            + self.mesh.transfer(tile, bank, Payload::Line, &mut self.stats);
+        let t = self.bank_start(bank, t);
+        if let Some(e) = self.llc[bank].probe_mut(line) {
+            e.dirty = true;
+            e.sharers &= !(1u64 << tile);
+            if e.owner == Some(tile as u8) {
+                e.owner = None;
+            }
+            return;
+        }
+        // Not present (engine L1ds and streaming stores are not covered
+        // by inclusion): install the dirty line in the LLC so it can
+        // coalesce further writes; phantom SHARED-Morph lines keep their
+        // Morph bit so the eventual eviction still triggers a callback.
+        let is_morph = is_phantom(line)
+            && matches!(
+                self.registry.lookup(line),
+                Some((_, MorphLevel::Shared))
+            );
+        if let Some(ev) =
+            self.llc[bank].insert(line, true, is_morph, InsertKind::Engine, t)
+        {
+            self.handle_llc_evict(bank, ev, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Private level (L1 + L2)
+    // ------------------------------------------------------------------
+
+    /// Handle an L2 eviction: merge the L1 copy, run PRIVATE-Morph
+    /// callbacks, then write back or discard.
+    fn handle_l2_evict(
+        &mut self,
+        tile: TileId,
+        ev: tako_cache::EvictedLine,
+        t: Cycle,
+    ) {
+        self.stats.bump(Counter::L2Eviction);
+        let mut dirty = ev.dirty;
+        if let Some(l1ev) = self.tiles[tile].l1d.invalidate(ev.line) {
+            dirty |= l1ev.dirty;
+        }
+        if ev.morph {
+            if let Some((id, MorphLevel::Private)) =
+                self.registry.lookup(ev.line)
+            {
+                let kind = if dirty {
+                    CallbackKind::OnWriteback
+                } else {
+                    CallbackKind::OnEviction
+                };
+                self.run_callback(tile, id, kind, ev.line, t);
+            }
+            if is_phantom(ev.line) {
+                return; // discarded, never written downward
+            }
+        }
+        if is_phantom(ev.line) {
+            // SHARED-Morph phantom line cached privately.
+            if dirty {
+                self.writeback_to_llc(tile, ev.line, t);
+            }
+            return;
+        }
+        if dirty {
+            self.stats.bump(Counter::L2Writeback);
+            self.writeback_to_llc(tile, ev.line, t);
+        } else {
+            // Silent clean eviction: lazily clear the directory bit.
+            let bank = self.mesh.bank_of_line(ev.line);
+            if let Some(e) = self.llc[bank].probe_mut(ev.line) {
+                e.sharers &= !(1u64 << tile);
+            }
+        }
+    }
+
+    /// Fill `line` into `tile`'s L1d, merging any displaced dirty line
+    /// into the (inclusive) L2.
+    fn fill_l1(&mut self, tile: TileId, line: Addr, dirty: bool, ready: Cycle) {
+        if self.tiles[tile].l1d.probe(line).is_some() {
+            if dirty {
+                if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
+                    e.dirty = true;
+                }
+            }
+            return;
+        }
+        if let Some(ev) =
+            self.tiles[tile].l1d.insert(line, dirty, false, InsertKind::Demand, ready)
+        {
+            if ev.dirty {
+                if let Some(e) = self.tiles[tile].l2.probe_mut(ev.line) {
+                    e.dirty = true;
+                } else if !is_phantom(ev.line) {
+                    self.writeback_to_llc(tile, ev.line, ready);
+                }
+            }
+        }
+    }
+
+    /// Obtain write permission for a line held shared (upgrade): a
+    /// control round-trip to the home bank that invalidates other copies.
+    fn upgrade(&mut self, tile: TileId, line: Addr, t: Cycle) -> Cycle {
+        let bank = self.mesh.bank_of_line(line);
+        let mut t = t
+            + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
+        t = self.bank_start(bank, t);
+        let sharers = self.llc[bank]
+            .probe(line)
+            .map(|e| e.sharers & !(1u64 << tile))
+            .unwrap_or(0);
+        let mut inval = 0;
+        for s in Self::sharer_tiles(sharers) {
+            self.stats.bump(Counter::CoherenceInval);
+            self.tiles[s].l1d.invalidate(line);
+            self.tiles[s].l2.invalidate(line);
+            inval = inval.max(self.mesh.transfer(
+                bank,
+                s,
+                Payload::Control,
+                &mut self.stats,
+            ));
+        }
+        if let Some(e) = self.llc[bank].probe_mut(line) {
+            e.sharers = 1 << tile;
+            e.owner = Some(tile as u8);
+        }
+        t + inval
+            + self.mesh.transfer(bank, tile, Payload::Control, &mut self.stats)
+    }
+
+    /// Issue one prefetch into `tile`'s L2 (may trigger onMiss for a
+    /// PRIVATE Morph — the HATS decoupling mechanism).
+    fn issue_prefetch(&mut self, tile: TileId, line: Addr, t: Cycle) {
+        if self.tiles[tile].l2.probe(line).is_some()
+            || self.tiles[tile].l1d.probe(line).is_some()
+        {
+            return;
+        }
+        self.stats.bump(Counter::PrefetchIssued);
+        let morph = self.registry.lookup(line);
+        let (ready, is_morph) = match morph {
+            Some((id, MorphLevel::Private)) => {
+                if is_phantom(line) {
+                    self.zero_line(line);
+                    let cb = self.run_callback(
+                        tile,
+                        id,
+                        CallbackKind::OnMiss,
+                        line,
+                        t,
+                    );
+                    (cb, true)
+                } else {
+                    let (fetch, _, _) = self.fetch_shared(
+                        tile,
+                        false,
+                        line,
+                        t,
+                        InsertKind::Prefetch,
+                        true,
+                    );
+                    let cb = self.run_callback(
+                        tile,
+                        id,
+                        CallbackKind::OnMiss,
+                        line,
+                        t,
+                    );
+                    (fetch.max(cb), true)
+                }
+            }
+            _ => {
+                let (fetch, _, _) = self.fetch_shared(
+                    tile,
+                    false,
+                    line,
+                    t,
+                    InsertKind::Prefetch,
+                    true,
+                );
+                (fetch, false)
+            }
+        };
+        if let Some(ev) = self.tiles[tile].l2.insert(
+            line,
+            false,
+            is_morph,
+            InsertKind::Prefetch,
+            ready,
+        ) {
+            self.handle_l2_evict(tile, ev, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Core-side access
+    // ------------------------------------------------------------------
+
+    /// A remote memory operation on a SHARED Morph executes directly at
+    /// the owning LLC bank (no private-cache allocation).
+    fn rmo_shared(
+        &mut self,
+        tile: TileId,
+        id: MorphId,
+        line: Addr,
+        t: Cycle,
+    ) -> Cycle {
+        let bank = self.mesh.bank_of_line(line);
+        let mut t = t
+            + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
+        t = self.bank_start(bank, t) + self.cfg.llc_bank.tag_latency;
+        let present = self.llc[bank]
+            .probe(line)
+            .map(|e| (e.ready_at, e.sharers));
+        match present {
+            Some((ready_at, sharers)) => {
+                self.stats.bump(Counter::LlcHit);
+                t = t.max(ready_at);
+                for s in Self::sharer_tiles(sharers) {
+                    self.stats.bump(Counter::CoherenceInval);
+                    self.tiles[s].l1d.invalidate(line);
+                    self.tiles[s].l2.invalidate(line);
+                }
+                let e = self.llc[bank].probe_mut(line).expect("probed");
+                e.dirty = true;
+                e.sharers = 0;
+                self.llc[bank].touch(line);
+                t += self.cfg.llc_bank.data_latency;
+            }
+            None => {
+                self.stats.bump(Counter::LlcMiss);
+                let ready = if is_phantom(line) {
+                    self.zero_line(line);
+                    self.run_callback(bank, id, CallbackKind::OnMiss, line, t)
+                } else {
+                    let mem = self.dram.read_line(line, t, &mut self.stats);
+                    let cb = self
+                        .run_callback(bank, id, CallbackKind::OnMiss, line, t);
+                    mem.max(cb)
+                };
+                if let Some(ev) = self.llc[bank].insert(
+                    line,
+                    true,
+                    true,
+                    InsertKind::Demand,
+                    ready,
+                ) {
+                    self.handle_llc_evict(bank, ev, t);
+                }
+                t = ready + self.cfg.llc_bank.data_latency;
+            }
+        }
+        t
+    }
+
+    /// Fetch for a non-temporal load: served from the LLC if present
+    /// (without promotion or sharer tracking), else straight from DRAM
+    /// **without installing in the LLC** — streaming data must not churn
+    /// the inclusive LLC, whose evictions would invalidate the L1/L2
+    /// copy before the scan finishes the line.
+    pub(crate) fn fetch_stream(
+        &mut self,
+        tile: TileId,
+        line: Addr,
+        t: Cycle,
+    ) -> Cycle {
+        let bank = self.mesh.bank_of_line(line);
+        let mut t = t
+            + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
+        t = self.bank_start(bank, t) + self.cfg.llc_bank.tag_latency;
+        if let Some(e) = self.llc[bank].probe(line) {
+            self.stats.bump(Counter::LlcHit);
+            t = t.max(e.ready_at) + self.cfg.llc_bank.data_latency;
+        } else {
+            self.stats.bump(Counter::LlcMiss);
+            t = if is_phantom(line) {
+                t
+            } else {
+                self.dram.read_line(line, t, &mut self.stats)
+            };
+        }
+        t + self.mesh.transfer(bank, tile, Payload::Line, &mut self.stats)
+    }
+
+    /// A core-side non-temporal store: write-combining in the L1d with no
+    /// read-for-ownership fetch; displaced dirty lines flow down the
+    /// hierarchy normally.
+    fn core_write_stream(&mut self, tile: TileId, line: Addr, t: Cycle) -> Cycle {
+        let l1_cfg = self.cfg.l1d;
+        if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
+            self.stats.bump(Counter::L1dHit);
+            e.dirty = true;
+            return t + l1_cfg.tag_latency + l1_cfg.data_latency;
+        }
+        self.stats.bump(Counter::L1dMiss);
+        let done = t + l1_cfg.tag_latency + l1_cfg.data_latency;
+        if let Some(ev) = self.tiles[tile].l1d.insert(
+            line,
+            true,
+            false,
+            InsertKind::Engine,
+            done,
+        ) {
+            if ev.dirty {
+                if let Some(e) = self.tiles[tile].l2.probe_mut(ev.line) {
+                    e.dirty = true;
+                } else if !is_phantom(ev.line) {
+                    self.writeback_to_llc(tile, ev.line, done);
+                }
+            }
+        }
+        done
+    }
+
+    /// A core-side access: the full L1 → L2 → LLC → memory walk with
+    /// Morph interposition. Returns the completion cycle.
+    pub fn core_access(
+        &mut self,
+        tile: TileId,
+        kind: AccessKind,
+        addr: Addr,
+        t: Cycle,
+    ) -> Cycle {
+        let line = line_of(addr);
+        let morph = self.registry.lookup(addr);
+        if kind == AccessKind::Rmo {
+            if let Some((id, MorphLevel::Shared)) = morph {
+                return self.rmo_shared(tile, id, line, t);
+            }
+        }
+        if kind == AccessKind::WriteStream {
+            return self.core_write_stream(tile, line, t);
+        }
+        let stream = kind == AccessKind::ReadStream;
+        let write = matches!(kind, AccessKind::Write | AccessKind::Rmo);
+        let l1_cfg = self.cfg.l1d;
+        let l2_cfg = self.cfg.l2;
+
+        // ---- L1d ----
+        if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
+            self.stats.bump(Counter::L1dHit);
+            let mut done =
+                (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(e.ready_at);
+            if write {
+                e.dirty = true;
+            }
+            self.tiles[tile].l1d.touch(line);
+            if write {
+                let needs_upgrade = self.tiles[tile]
+                    .l2
+                    .probe(line)
+                    .map(|le| !le.exclusive)
+                    .unwrap_or(false)
+                    && !is_phantom(line);
+                if needs_upgrade {
+                    done = self.upgrade(tile, line, done);
+                    if let Some(le) = self.tiles[tile].l2.probe_mut(line) {
+                        le.exclusive = true;
+                        le.dirty = true;
+                    }
+                } else if let Some(le) = self.tiles[tile].l2.probe_mut(line) {
+                    le.dirty = true;
+                }
+            }
+            return done;
+        }
+        self.stats.bump(Counter::L1dMiss);
+        let t1 = t + l1_cfg.tag_latency;
+
+        // ---- L2 ----
+        let l2_probe = self.tiles[tile].l2.probe(line).map(|e| {
+            (e.ready_at, e.exclusive, e.prefetched)
+        });
+        let done = match l2_probe {
+            Some((ready_at, exclusive, prefetched)) => {
+                self.stats.bump(Counter::L2Hit);
+                if prefetched {
+                    self.stats.bump(Counter::PrefetchUseful);
+                }
+                let mut done = (t1 + l2_cfg.tag_latency + l2_cfg.data_latency)
+                    .max(ready_at);
+                if write && !exclusive && !is_phantom(line) {
+                    done = self.upgrade(tile, line, done);
+                }
+                {
+                    let e = self.tiles[tile].l2.probe_mut(line).expect("hit");
+                    if write {
+                        e.dirty = true;
+                        e.exclusive = true;
+                    }
+                }
+                if !stream {
+                    // Non-temporal hits do not promote: scans stay cold.
+                    self.tiles[tile].l2.touch(line);
+                }
+                self.fill_l1(tile, line, write, done);
+                done
+            }
+            None => {
+                self.stats.bump(Counter::L2Miss);
+                let t2 = t1 + l2_cfg.tag_latency;
+                let (ready, is_morph, exclusive) = match morph {
+                    Some((id, MorphLevel::Private)) => {
+                        if is_phantom(line) {
+                            self.zero_line(line);
+                            let cb = self.run_callback(
+                                tile,
+                                id,
+                                CallbackKind::OnMiss,
+                                line,
+                                t2,
+                            );
+                            (cb, true, true)
+                        } else {
+                            let (fetch, _, excl) = self.fetch_shared(
+                                tile,
+                                write,
+                                line,
+                                t2,
+                                InsertKind::Demand,
+                                true,
+                            );
+                            let cb = self.run_callback(
+                                tile,
+                                id,
+                                CallbackKind::OnMiss,
+                                line,
+                                t2,
+                            );
+                            (fetch.max(cb), true, excl)
+                        }
+                    }
+                    _ if stream => {
+                        let fetch = self.fetch_stream(tile, line, t2);
+                        (fetch, false, false)
+                    }
+                    _ => {
+                        let (fetch, _, excl) = self.fetch_shared(
+                            tile,
+                            write,
+                            line,
+                            t2,
+                            InsertKind::Demand,
+                            true,
+                        );
+                        (fetch, false, excl)
+                    }
+                };
+                let done = ready + l2_cfg.data_latency;
+                if stream {
+                    // Non-temporal fills bypass the L2 entirely: the line
+                    // lives briefly in the L1 and is dropped silently.
+                    self.fill_l1(tile, line, write, done);
+                    return done;
+                }
+                if let Some(ev) = self.tiles[tile].l2.insert(
+                    line,
+                    write,
+                    is_morph,
+                    InsertKind::Demand,
+                    done,
+                ) {
+                    self.handle_l2_evict(tile, ev, t2);
+                }
+                if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
+                    e.exclusive = exclusive || write || is_phantom(line);
+                }
+                self.fill_l1(tile, line, write, done);
+                done
+            }
+        };
+
+        // ---- prefetcher (trains on L2 accesses; NT scans bypass it) ----
+        if !stream {
+            let pf: Vec<Addr> = self.tiles[tile].prefetcher.observe(addr);
+            for p in pf {
+                self.issue_prefetch(tile, p, t1);
+            }
+        }
+        done
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-side access
+    // ------------------------------------------------------------------
+
+    /// A memory access issued by a callback running on `tile`'s engine.
+    /// PRIVATE-level callbacks reach memory through the tile's L2 (the
+    /// engine is clustered with it); SHARED-level callbacks go straight
+    /// to the LLC. Fills insert at trrîp's distant priority.
+    ///
+    /// The engine's own L1d is probed/filled by the caller (`EngineCtx`),
+    /// which holds it checked out; this method models everything below.
+    pub fn engine_fill(
+        &mut self,
+        tile: TileId,
+        write: bool,
+        line: Addr,
+        t: Cycle,
+        level: MorphLevel,
+    ) -> Cycle {
+        match level {
+            MorphLevel::Private => {
+                let l2_cfg = self.cfg.l2;
+                let hit = self.tiles[tile].l2.probe(line).map(|e| e.ready_at);
+                match hit {
+                    Some(ready_at) => {
+                        self.stats.bump(Counter::L2Hit);
+                        let done = (t + l2_cfg.tag_latency
+                            + l2_cfg.data_latency)
+                            .max(ready_at);
+                        if write {
+                            let e = self.tiles[tile]
+                                .l2
+                                .probe_mut(line)
+                                .expect("hit");
+                            e.dirty = true;
+                        }
+                        self.tiles[tile].l2.touch(line);
+                        done
+                    }
+                    None => {
+                        self.stats.bump(Counter::L2Miss);
+                        let t2 = t + l2_cfg.tag_latency;
+                        // trrîp: engine *streaming* traffic (writes)
+                        // inserts at distant priority; engine loads with
+                        // reuse insert like demands so the L2 backstops
+                        // the small engine L1d.
+                        let kind = if write && self.cfg.engine.trrip {
+                            InsertKind::Engine
+                        } else {
+                            InsertKind::Demand
+                        };
+                        let (fetch, _, _) = self.fetch_shared(
+                            tile, write, line, t2, kind, true,
+                        );
+                        let done = fetch + l2_cfg.data_latency;
+                        if let Some(ev) = self.tiles[tile].l2.insert(
+                            line,
+                            write,
+                            false,
+                            kind,
+                            done,
+                        ) {
+                            self.handle_l2_evict(tile, ev, t2);
+                        }
+                        done
+                    }
+                }
+            }
+            MorphLevel::Shared => {
+                let kind = if self.cfg.engine.trrip {
+                    InsertKind::Engine
+                } else {
+                    InsertKind::Demand
+                };
+                let (_, at_bank, _) = self.fetch_shared(
+                    tile, write, line, t, kind, false,
+                );
+                if write {
+                    let bank = self.mesh.bank_of_line(line);
+                    if let Some(e) = self.llc[bank].probe_mut(line) {
+                        e.dirty = true;
+                    }
+                }
+                at_bank
+            }
+        }
+    }
+
+    /// CLDEMOTE: drop the L1 copy (merging dirty state into the L2) and
+    /// move the L2 entry to the preferred-victim position. No callback —
+    /// the line is not evicted, just deprioritized.
+    pub fn demote_line(&mut self, tile: TileId, line: Addr) {
+        let line = line_of(line);
+        let mut dirty = false;
+        if let Some(ev) = self.tiles[tile].l1d.invalidate(line) {
+            dirty |= ev.dirty;
+        }
+        if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
+            e.dirty |= dirty;
+            e.rrpv = 3;
+            e.lru_stamp = 0;
+        }
+    }
+
+    /// Writeback of a dirty line displaced from an engine L1d.
+    pub fn engine_writeback(&mut self, tile: TileId, line: Addr, t: Cycle) {
+        if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
+            e.dirty = true;
+            return;
+        }
+        if !is_phantom(line) {
+            self.writeback_to_llc(tile, line, t);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush
+    // ------------------------------------------------------------------
+
+    /// täkō's flushData (Sec 4.4): walk the tag arrays at the appropriate
+    /// level, evict every line in `range` (triggering callbacks), and
+    /// return the cycle all callbacks complete.
+    pub fn flush_range(
+        &mut self,
+        tile: TileId,
+        range: AddrRange,
+        now: Cycle,
+    ) -> Cycle {
+        let level = self
+            .registry
+            .lookup(range.base)
+            .map(|(_, l)| l);
+        let mut completion = now;
+        match level {
+            Some(MorphLevel::Shared) => {
+                for bank in 0..self.llc.len() {
+                    let lines = self.llc[bank].lines_in_range(range);
+                    let mut t = now;
+                    for line in lines {
+                        t += 1; // tag-walk increment
+                        self.stats.bump(Counter::FlushedLines);
+                        if let Some(ev) = self.llc[bank].invalidate(line) {
+                            let c = self.flush_llc_victim(bank, ev, t);
+                            completion = completion.max(c);
+                        }
+                    }
+                    completion = completion.max(t);
+                }
+            }
+            _ => {
+                let lines = self.tiles[tile].l2.lines_in_range(range);
+                let mut t = now;
+                for line in lines {
+                    t += 1;
+                    self.stats.bump(Counter::FlushedLines);
+                    let mut dirty = false;
+                    if let Some(l1ev) = self.tiles[tile].l1d.invalidate(line) {
+                        dirty |= l1ev.dirty;
+                    }
+                    if let Some(ev) = self.tiles[tile].l2.invalidate(line) {
+                        dirty |= ev.dirty;
+                        if ev.morph {
+                            if let Some((id, MorphLevel::Private)) =
+                                self.registry.lookup(line)
+                            {
+                                let kind = if dirty {
+                                    CallbackKind::OnWriteback
+                                } else {
+                                    CallbackKind::OnEviction
+                                };
+                                let c = self
+                                    .run_callback(tile, id, kind, line, t);
+                                completion = completion.max(c);
+                            }
+                            if is_phantom(line) {
+                                continue;
+                            }
+                        }
+                        if dirty && !is_phantom(line) {
+                            self.stats.bump(Counter::L2Writeback);
+                            self.writeback_to_llc(tile, line, t);
+                        }
+                    }
+                }
+                completion = completion.max(t);
+            }
+        }
+        completion
+    }
+
+    /// Invalidate every cached copy of `range` at every level of every
+    /// tile (used when (un)registering a Morph: Sec 4.1's range flush).
+    /// Dirty real lines write back; no callbacks run (the range has no
+    /// Morph at this moment).
+    pub fn invalidate_range_everywhere(&mut self, range: AddrRange, now: Cycle) {
+        for tile in 0..self.tiles.len() {
+            for line in self.tiles[tile].l1d.lines_in_range(range) {
+                self.tiles[tile].l1d.invalidate(line);
+            }
+            for line in self.tiles[tile].l2.lines_in_range(range) {
+                if let Some(ev) = self.tiles[tile].l2.invalidate(line) {
+                    if ev.dirty && !is_phantom(line) {
+                        self.writeback_to_llc(tile, line, now);
+                    }
+                }
+            }
+        }
+        for bank in 0..self.llc.len() {
+            for line in self.llc[bank].lines_in_range(range) {
+                if let Some(ev) = self.llc[bank].invalidate(line) {
+                    if ev.dirty && !is_phantom(line) {
+                        self.dram.write_line(line, now, &mut self.stats);
+                    }
+                    let _ = ev;
+                }
+            }
+        }
+        // Engine L1ds may also hold copies.
+        for e in self.engines.iter_mut().flatten() {
+            for line in e.l1d.lines_in_range(range) {
+                e.l1d.invalidate(line);
+            }
+        }
+    }
+
+    fn flush_llc_victim(
+        &mut self,
+        bank: usize,
+        ev: tako_cache::EvictedLine,
+        t: Cycle,
+    ) -> Cycle {
+        let mut dirty = ev.dirty;
+        for s in Self::sharer_tiles(ev.sharers) {
+            if let Some(l1ev) = self.tiles[s].l1d.invalidate(ev.line) {
+                dirty |= l1ev.dirty;
+            }
+            if let Some(l2ev) = self.tiles[s].l2.invalidate(ev.line) {
+                dirty |= l2ev.dirty;
+            }
+        }
+        let mut completion = t;
+        if ev.morph {
+            if let Some((id, MorphLevel::Shared)) =
+                self.registry.lookup(ev.line)
+            {
+                let kind = if dirty {
+                    CallbackKind::OnWriteback
+                } else {
+                    CallbackKind::OnEviction
+                };
+                completion = self.run_callback(bank, id, kind, ev.line, t);
+            }
+            if is_phantom(ev.line) {
+                return completion;
+            }
+        }
+        if dirty {
+            self.stats.bump(Counter::LlcWriteback);
+            self.dram.write_line(ev.line, t, &mut self.stats);
+        }
+        completion
+    }
+}

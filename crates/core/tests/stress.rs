@@ -1,0 +1,170 @@
+//! Randomized stress tests of the full hierarchy: interleaved reads,
+//! writes, RMOs, flushes, and registrations across many tiles and
+//! several Morphs, checking global invariants after every burst.
+
+use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
+use tako_cpu::{AccessKind, MemSystem};
+use tako_sim::config::{SystemConfig, LINE_BYTES};
+use tako_sim::rng::Rng;
+use tako_sim::stats::Counter;
+
+/// Counting Morph with a verifiable fill pattern.
+struct Pattern {
+    tag: u64,
+}
+
+impl Morph for Pattern {
+    fn name(&self) -> &str {
+        "pattern"
+    }
+    fn on_miss(&mut self, ctx: &mut EngineCtx<'_>) {
+        let line_idx = ctx.offset() / LINE_BYTES;
+        let dep = ctx.arg();
+        let mut vals = [0u64; 8];
+        for (i, v) in vals.iter_mut().enumerate() {
+            *v = self.tag ^ (line_idx << 8) ^ i as u64;
+        }
+        ctx.line_write_all_u64(&vals, &[dep]);
+    }
+}
+
+fn morph_invariants_hold(sys: &TakoSystem) {
+    let h = sys.hierarchy();
+    for (i, tile) in h.tiles.iter().enumerate() {
+        assert!(
+            tile.l2.morph_invariant_holds(),
+            "tile {i} L2 violates the trrîp callback-free-line invariant"
+        );
+    }
+    for (b, bank) in h.llc.iter().enumerate() {
+        assert!(
+            bank.morph_invariant_holds(),
+            "LLC bank {b} violates the trrîp invariant"
+        );
+    }
+}
+
+#[test]
+fn random_access_storm_preserves_invariants_and_data() {
+    let mut sys = TakoSystem::new(SystemConfig::default_16core());
+    let mut rng = Rng::new(0x57E5);
+
+    let real = sys.alloc_real(1 << 20);
+    let priv_h = sys
+        .register_phantom(MorphLevel::Private, 1 << 18, Box::new(Pattern { tag: 0xAAAA }))
+        .expect("private morph");
+    let shared_h = sys
+        .register_phantom(MorphLevel::Shared, 1 << 18, Box::new(Pattern { tag: 0x5555 }))
+        .expect("shared morph");
+
+    // Shadow model of the real region.
+    let mut shadow = vec![0u64; (real.size / 8) as usize];
+    let mut t = 0u64;
+    for burst in 0..40 {
+        for _ in 0..500 {
+            let tile = rng.below(16) as usize;
+            match rng.below(10) {
+                0..=3 => {
+                    // Real-region write + shadow.
+                    let w = rng.below(real.size / 8);
+                    let val = rng.next_u64();
+                    t = sys.timed_access(
+                        tile,
+                        AccessKind::Write,
+                        real.base + w * 8,
+                        t,
+                    );
+                    sys.data().write_u64(real.base + w * 8, val);
+                    shadow[w as usize] = val;
+                }
+                4..=6 => {
+                    // Real-region read must match the shadow.
+                    let w = rng.below(real.size / 8);
+                    t = sys.timed_access(
+                        tile,
+                        AccessKind::Read,
+                        real.base + w * 8,
+                        t,
+                    );
+                    let got = sys.data().read_u64(real.base + w * 8);
+                    assert_eq!(got, shadow[w as usize], "data corruption");
+                }
+                7 => {
+                    // Private phantom read: pattern must verify. Phantom
+                    // Morphs are registered at tile 0's L2; access from
+                    // its home tile.
+                    let off = rng.below(priv_h.range().size / 8) * 8;
+                    let addr = priv_h.range().base + off;
+                    let (got, done) = sys.debug_read_u64(0, addr, t);
+                    t = done;
+                    let li = (off / LINE_BYTES) * LINE_BYTES / LINE_BYTES;
+                    let word = (off % LINE_BYTES) / 8;
+                    assert_eq!(got, 0xAAAA ^ (li << 8) ^ word);
+                }
+                8 => {
+                    // Shared phantom read from any tile.
+                    let off = rng.below(shared_h.range().size / 8) * 8;
+                    let addr = shared_h.range().base + off;
+                    let (got, done) = sys.debug_read_u64(tile, addr, t);
+                    t = done;
+                    let li = off / LINE_BYTES;
+                    let word = (off % LINE_BYTES) / 8;
+                    assert_eq!(got, 0x5555 ^ (li << 8) ^ word);
+                }
+                _ => {
+                    // RMO into the shared phantom range.
+                    let off = rng.below(shared_h.range().size / 8) * 8;
+                    t = sys.timed_access(
+                        tile,
+                        AccessKind::Rmo,
+                        shared_h.range().base + off,
+                        t,
+                    );
+                }
+            }
+        }
+        morph_invariants_hold(&sys);
+        if burst % 10 == 9 {
+            t = sys.flush_data(priv_h, t);
+            t = sys.flush_data(shared_h, t);
+        }
+    }
+    // Time must be monotone and callbacks must have fired.
+    assert!(t > 0);
+    assert!(sys.stats_view().get(Counter::CbOnMiss) > 0);
+
+    // Final teardown: unregistering must leave a clean system.
+    sys.unregister(priv_h, t).expect("unregister private");
+    sys.unregister(shared_h, t).expect("unregister shared");
+    assert!(sys.hierarchy().registry.is_empty());
+    // Real data still intact after all the churn.
+    for (w, &v) in shadow.iter().enumerate() {
+        assert_eq!(sys.data().read_u64(real.base + w as u64 * 8), v);
+    }
+}
+
+#[test]
+fn repeated_register_unregister_cycles_are_clean() {
+    let mut sys = TakoSystem::new(SystemConfig::default_16core());
+    let mut t = 0;
+    for round in 0..20u64 {
+        let h = sys
+            .register_phantom(
+                MorphLevel::Private,
+                64 * LINE_BYTES,
+                Box::new(Pattern { tag: round }),
+            )
+            .expect("register");
+        for i in 0..64u64 {
+            let (v, done) =
+                sys.debug_read_u64(0, h.range().base + i * LINE_BYTES, t);
+            assert_eq!(v, round ^ (i << 8));
+            t = done;
+        }
+        let (_, done) = sys.unregister(h, t).expect("unregister");
+        t = done;
+    }
+    assert!(sys.hierarchy().registry.is_empty());
+    // 20 rounds x 64 lines, each missing exactly once.
+    assert_eq!(sys.stats_view().get(Counter::CbOnMiss), 20 * 64);
+}

@@ -1,0 +1,268 @@
+//! Per-core clock with memory-level parallelism.
+//!
+//! [`CoreTiming`] models what the evaluation needs from a core: how much
+//! latency loads expose, how compute throughput scales with issue width,
+//! and how mispredictions interrupt the pipeline. An out-of-order core
+//! keeps up to `mlp_window` loads in flight and only stalls when the
+//! window fills or a dependent access needs a previous load's value; an
+//! in-order core ([`tako_sim::config::CoreKind::InOrder`]) stalls on
+//! every load.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tako_sim::config::{CoreConfig, CoreKind};
+use tako_sim::Cycle;
+
+/// The timing state of one core.
+#[derive(Debug, Clone)]
+pub struct CoreTiming {
+    cfg: CoreConfig,
+    now: Cycle,
+    outstanding: BinaryHeap<Reverse<Cycle>>,
+    last_load_done: Cycle,
+    instr_acc: u64,
+    instrs_retired: u64,
+}
+
+impl CoreTiming {
+    /// A core at cycle 0.
+    pub fn new(cfg: CoreConfig) -> Self {
+        CoreTiming {
+            cfg,
+            now: 0,
+            outstanding: BinaryHeap::new(),
+            last_load_done: 0,
+            instr_acc: 0,
+            instrs_retired: 0,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// The core-local clock: the cycle the next instruction issues.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Completion cycle of the most recent load (for dependent accesses).
+    pub fn last_load_done(&self) -> Cycle {
+        self.last_load_done
+    }
+
+    /// Instructions retired so far.
+    pub fn instrs_retired(&self) -> u64 {
+        self.instrs_retired
+    }
+
+    fn window(&self) -> usize {
+        match self.cfg.kind {
+            CoreKind::InOrder => 1,
+            CoreKind::OutOfOrder => self.cfg.mlp_window.max(1) as usize,
+        }
+    }
+
+    fn pop_completed(&mut self) {
+        while let Some(&Reverse(c)) = self.outstanding.peek() {
+            if c <= self.now {
+                self.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Retire `n` non-memory instructions at the core's issue width.
+    pub fn compute(&mut self, n: u64) {
+        self.instrs_retired += n;
+        self.instr_acc += n;
+        let width = u64::from(self.cfg.width.max(1));
+        self.now += self.instr_acc / width;
+        self.instr_acc %= width;
+    }
+
+    /// Account for one conditional branch; `mispredicted` charges the
+    /// pipeline-flush penalty.
+    pub fn branch(&mut self, mispredicted: bool) {
+        self.compute(1);
+        if mispredicted {
+            self.now += self.cfg.mispredict_penalty;
+            // A flush also squashes the in-flight window's overlap.
+            self.instr_acc = 0;
+        }
+    }
+
+    /// Begin a load: returns the cycle the access should be presented to
+    /// the memory system. `depends_on_last_load` serializes behind the
+    /// previous load (pointer chasing / data-dependent addressing).
+    pub fn load_issue(&mut self, depends_on_last_load: bool) -> Cycle {
+        self.instrs_retired += 1;
+        if depends_on_last_load {
+            self.now = self.now.max(self.last_load_done);
+        }
+        self.pop_completed();
+        if self.outstanding.len() >= self.window() {
+            if let Some(Reverse(c)) = self.outstanding.pop() {
+                self.now = self.now.max(c);
+            }
+            self.pop_completed();
+        }
+        let issue = self.now;
+        self.now += 1;
+        issue
+    }
+
+    /// Finish a load whose memory access completes at `done`.
+    /// Returns the exposed load-to-use latency.
+    pub fn load_complete(&mut self, issue: Cycle, done: Cycle) -> Cycle {
+        self.last_load_done = done;
+        match self.cfg.kind {
+            CoreKind::InOrder => {
+                // Stall-on-use approximated as stall-on-completion.
+                self.now = self.now.max(done);
+            }
+            CoreKind::OutOfOrder => {
+                self.outstanding.push(Reverse(done));
+            }
+        }
+        done.saturating_sub(issue)
+    }
+
+    /// Account for a posted store or remote memory operation: occupies an
+    /// issue slot but does not block the core.
+    pub fn post_write(&mut self) -> Cycle {
+        self.instrs_retired += 1;
+        let issue = self.now;
+        self.now += 1;
+        issue
+    }
+
+    /// Wait for all outstanding loads and any external event at `until`.
+    pub fn stall_until(&mut self, until: Cycle) {
+        self.now = self.now.max(until);
+        self.pop_completed();
+    }
+
+    /// Drain the window: the cycle at which the core is fully idle.
+    pub fn drain(&mut self) -> Cycle {
+        let last = self
+            .outstanding
+            .iter()
+            .map(|&Reverse(c)| c)
+            .max()
+            .unwrap_or(0);
+        self.now = self.now.max(last);
+        self.outstanding.clear();
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ooo() -> CoreTiming {
+        CoreTiming::new(CoreConfig::goldmont())
+    }
+
+    fn inorder() -> CoreTiming {
+        CoreTiming::new(CoreConfig::in_order())
+    }
+
+    #[test]
+    fn compute_scales_with_width() {
+        let mut c = ooo(); // width 3
+        c.compute(9);
+        assert_eq!(c.now(), 3);
+        c.compute(1);
+        assert_eq!(c.now(), 3); // accumulates fractional issue
+        c.compute(2);
+        assert_eq!(c.now(), 4);
+        assert_eq!(c.instrs_retired(), 12);
+    }
+
+    #[test]
+    fn ooo_overlaps_independent_loads() {
+        let mut c = ooo(); // window 8
+        let mut dones = Vec::new();
+        for _ in 0..8 {
+            let issue = c.load_issue(false);
+            dones.push(c.load_complete(issue, issue + 100));
+        }
+        // 8 loads issued back-to-back: clock advanced only 8 cycles.
+        assert_eq!(c.now(), 8);
+        assert_eq!(c.drain(), 107);
+        let _ = dones;
+    }
+
+    #[test]
+    fn window_fills_and_stalls() {
+        let mut c = ooo();
+        for _ in 0..9 {
+            let issue = c.load_issue(false);
+            c.load_complete(issue, issue + 100);
+        }
+        // 9th load waited for the 1st to complete (cycle 100).
+        assert!(c.now() >= 100);
+    }
+
+    #[test]
+    fn dependent_load_serializes() {
+        let mut c = ooo();
+        let i1 = c.load_issue(false);
+        c.load_complete(i1, i1 + 100);
+        let i2 = c.load_issue(true);
+        assert!(i2 >= 100, "dependent load issued at {i2}");
+    }
+
+    #[test]
+    fn in_order_stalls_every_load() {
+        let mut c = inorder();
+        for k in 0..4u64 {
+            let issue = c.load_issue(false);
+            assert_eq!(issue, k * 100);
+            c.load_complete(issue, issue + 100);
+        }
+        assert_eq!(c.now(), 400);
+    }
+
+    #[test]
+    fn mispredict_penalty_charged() {
+        let mut c = CoreTiming::new(CoreConfig::in_order()); // width 1
+        c.branch(false);
+        assert_eq!(c.now(), 1);
+        c.branch(true);
+        // 1 issue cycle + 8-cycle in-order flush penalty.
+        assert_eq!(c.now(), 1 + 1 + 8);
+    }
+
+    #[test]
+    fn stores_do_not_block() {
+        let mut c = ooo();
+        for _ in 0..100 {
+            c.post_write();
+        }
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn load_latency_reported() {
+        let mut c = ooo();
+        let issue = c.load_issue(false);
+        let lat = c.load_complete(issue, issue + 42);
+        assert_eq!(lat, 42);
+    }
+
+    #[test]
+    fn stall_until_and_drain() {
+        let mut c = ooo();
+        let issue = c.load_issue(false);
+        c.load_complete(issue, issue + 10);
+        c.stall_until(500);
+        assert_eq!(c.now(), 500);
+        assert_eq!(c.drain(), 500);
+    }
+}

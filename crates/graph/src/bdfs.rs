@@ -1,0 +1,151 @@
+//! Bounded depth-first traversal scheduling (HATS, Sec 8.2).
+//!
+//! HATS observed that processing edges in memory-layout order wastes
+//! locality on community-structured graphs; a bounded depth-first search
+//! visits communities together. [`BdfsOrder`] produces the edge order a
+//! HATS engine would emit: a DFS over unvisited vertices whose stack
+//! depth and per-vertex fanout are bounded, falling back to the next
+//! unvisited vertex in id order when the stack empties.
+
+use crate::csr::Csr;
+
+/// Maximum stack depth of the bounded DFS (HATS uses a small stack).
+pub const DEFAULT_DEPTH_BOUND: usize = 32;
+
+/// An iterator over `(src, dst)` edges in bounded-DFS order. Every edge
+/// of the graph is produced exactly once.
+#[derive(Debug, Clone)]
+pub struct BdfsOrder<'g> {
+    graph: &'g Csr,
+    /// Per-vertex cursor into its neighbor list.
+    cursor: Vec<u32>,
+    /// Whether a vertex has been pushed on the stack yet.
+    discovered: Vec<bool>,
+    /// DFS stack of vertices with possibly-unvisited edges.
+    stack: Vec<u32>,
+    depth_bound: usize,
+    /// Next vertex id to seed the DFS from when the stack empties.
+    seed: u32,
+}
+
+impl<'g> BdfsOrder<'g> {
+    /// A bounded-DFS edge order over `graph` with the default bound.
+    pub fn new(graph: &'g Csr) -> Self {
+        Self::with_bound(graph, DEFAULT_DEPTH_BOUND)
+    }
+
+    /// A bounded-DFS edge order with an explicit stack bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth_bound == 0`.
+    pub fn with_bound(graph: &'g Csr, depth_bound: usize) -> Self {
+        assert!(depth_bound > 0, "depth bound must be positive");
+        BdfsOrder {
+            cursor: vec![0; graph.num_vertices()],
+            discovered: vec![false; graph.num_vertices()],
+            stack: Vec::with_capacity(depth_bound),
+            depth_bound,
+            seed: 0,
+            graph,
+        }
+    }
+}
+
+impl Iterator for BdfsOrder<'_> {
+    type Item = (u32, u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Refill the stack from the seed cursor if empty.
+            while self.stack.is_empty() {
+                let n = self.graph.num_vertices() as u32;
+                while self.seed < n && self.discovered[self.seed as usize] {
+                    self.seed += 1;
+                }
+                if self.seed >= n {
+                    return None;
+                }
+                self.discovered[self.seed as usize] = true;
+                self.stack.push(self.seed);
+            }
+            let &v = self.stack.last().expect("stack nonempty");
+            let c = self.cursor[v as usize] as usize;
+            if c >= self.graph.out_degree(v) {
+                self.stack.pop();
+                continue;
+            }
+            self.cursor[v as usize] += 1;
+            let d = self.graph.neighbors(v)[c];
+            // Descend into undiscovered targets while within the bound;
+            // targets that do not fit stay undiscovered so a later edge
+            // or the seed scan still schedules their out-edges.
+            if !self.discovered[d as usize]
+                && self.stack.len() < self.depth_bound
+            {
+                self.discovered[d as usize] = true;
+                self.stack.push(d);
+            }
+            return Some((v, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tako_sim::rng::Rng;
+
+    #[test]
+    fn emits_every_edge_once() {
+        let mut rng = Rng::new(11);
+        let g = crate::gen::community(500, 5000, 10, 0.9, &mut rng);
+        let mut bdfs: Vec<_> = BdfsOrder::new(&g).collect();
+        let mut all: Vec<_> = g.edges().collect();
+        bdfs.sort_unstable();
+        all.sort_unstable();
+        assert_eq!(bdfs, all);
+    }
+
+    #[test]
+    fn respects_depth_bound() {
+        // A long chain: with bound 4 the stack cannot grow past 4, but
+        // all edges still come out.
+        let edges: Vec<(u32, u32)> = (0..99u32).map(|v| (v, v + 1)).collect();
+        let g = crate::csr::Csr::from_edges(100, &edges);
+        let out: Vec<_> = BdfsOrder::with_bound(&g, 4).collect();
+        assert_eq!(out.len(), 99);
+    }
+
+    #[test]
+    fn improves_community_locality_over_vertex_order() {
+        // On a community graph with shuffled vertex→community assignment
+        // the vertex-ordered traversal jumps between communities;
+        // BDFS mostly stays inside one. Measure destination locality:
+        // mean absolute distance between consecutive destinations.
+        let mut rng = Rng::new(13);
+        let g = crate::gen::community(2000, 30_000, 20, 0.95, &mut rng);
+        let jumpiness = |order: &[(u32, u32)]| -> f64 {
+            order
+                .windows(2)
+                .map(|w| (i64::from(w[1].1) - i64::from(w[0].1)).unsigned_abs() as f64)
+                .sum::<f64>()
+                / (order.len() - 1) as f64
+        };
+        let vertex_order: Vec<_> = g.edges().collect();
+        let bdfs_order: Vec<_> = BdfsOrder::new(&g).collect();
+        let jv = jumpiness(&vertex_order);
+        let jb = jumpiness(&bdfs_order);
+        assert!(
+            jb < jv,
+            "BDFS should improve destination locality: bdfs={jb} vertex={jv}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bound_rejected() {
+        let g = crate::csr::Csr::from_edges(1, &[]);
+        BdfsOrder::with_bound(&g, 0);
+    }
+}

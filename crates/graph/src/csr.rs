@@ -1,0 +1,131 @@
+//! Compressed sparse row graphs.
+
+/// A directed graph in CSR form: `offsets[v]..offsets[v+1]` indexes the
+/// out-edges of vertex `v` in `targets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build a CSR from an edge list over `n` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut degree = vec![0u64; n];
+        for &(s, d) in edges {
+            assert!((s as usize) < n && (d as usize) < n, "endpoint out of range");
+            degree[s as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; edges.len()];
+        for &(s, d) in edges {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = d;
+            *c += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    /// The offsets array (for laying the graph out in simulated memory).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The targets array (for laying the graph out in simulated memory).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// All edges in vertex order (the baseline "vertex-ordered"
+    /// traversal of Fig 16).
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices() as u32).flat_map(move |v| {
+            self.neighbors(v).iter().map(move |&d| (v, d))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_graph_roundtrip() {
+        let edges = [(0u32, 1u32), (0, 2), (1, 2), (2, 0)];
+        let g = Csr::from_edges(3, &edges);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        let back: Vec<_> = g.edges().collect();
+        assert_eq!(back, vec![(0, 1), (0, 2), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Csr::from_edges(5, &[(4, 0)]);
+        assert_eq!(g.out_degree(2), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        Csr::from_edges(2, &[(0, 5)]);
+    }
+
+    proptest! {
+        #[test]
+        fn edge_multiset_preserved(
+            n in 1usize..50,
+            raw in proptest::collection::vec((0u32..50, 0u32..50), 0..200)
+        ) {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(s, d)| (s % n as u32, d % n as u32))
+                .collect();
+            let g = Csr::from_edges(n, &edges);
+            let mut a = edges.clone();
+            let mut b: Vec<_> = g.edges().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(
+                g.offsets().last().copied().unwrap_or(0) as usize,
+                g.num_edges()
+            );
+        }
+    }
+}

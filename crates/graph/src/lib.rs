@@ -1,0 +1,24 @@
+//! # tako-graph — graph substrate
+//!
+//! Graph data structures and algorithms for the PHI and HATS case studies
+//! (Secs 8.1–8.2):
+//!
+//! * [`csr`] — compressed sparse row graphs; the in-memory layout the
+//!   simulated workloads traverse.
+//! * [`gen`] — synthetic generators: uniform random, power-law (skewed
+//!   in-degree, like the paper's synthetic PageRank graphs), and a
+//!   planted-partition **community** generator substituting for the
+//!   uk-2002 web crawl (HATS exploits community structure; see
+//!   DESIGN.md §5 for the substitution rationale).
+//! * [`pagerank`] — a reference (host-side) PageRank used to validate
+//!   that every simulated implementation computes identical ranks.
+//! * [`bdfs`] — bounded depth-first traversal order (HATS's scheduler),
+//!   usable both natively (reference) and inside the simulated Morph.
+
+pub mod bdfs;
+pub mod csr;
+pub mod gen;
+pub mod pagerank;
+
+pub use bdfs::BdfsOrder;
+pub use csr::Csr;

@@ -1,0 +1,94 @@
+//! Reference PageRank (host-side, untimed).
+//!
+//! Every simulated PageRank implementation — baseline, update batching,
+//! PHI-on-täkō, BDFS/HATS — must produce *exactly* these ranks; the
+//! integration tests assert it. One iteration follows the push-based
+//! formulation the paper's studies use: each vertex pushes
+//! `damping * rank[v] / out_degree(v)` to its out-neighbors.
+
+use crate::csr::Csr;
+
+/// The damping factor used throughout the workloads.
+pub const DAMPING: f64 = 0.85;
+
+/// One push-based PageRank iteration: returns the new rank vector.
+pub fn iteration(g: &Csr, ranks: &[f64]) -> Vec<f64> {
+    assert_eq!(ranks.len(), g.num_vertices(), "rank vector size mismatch");
+    let n = g.num_vertices();
+    let base = (1.0 - DAMPING) / n as f64;
+    let mut next = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        let deg = g.out_degree(v);
+        if deg == 0 {
+            continue;
+        }
+        let share = DAMPING * ranks[v as usize] / deg as f64;
+        for &d in g.neighbors(v) {
+            next[d as usize] += share;
+        }
+    }
+    for x in &mut next {
+        *x += base;
+    }
+    next
+}
+
+/// Run `iters` iterations from the uniform initial vector.
+pub fn pagerank(g: &Csr, iters: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut ranks = vec![1.0 / n as f64; n];
+    for _ in 0..iters {
+        ranks = iteration(g, &ranks);
+    }
+    ranks
+}
+
+/// Maximum absolute elementwise difference between two rank vectors.
+pub fn max_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tako_sim::rng::Rng;
+
+    #[test]
+    fn ranks_sum_preserved_modulo_sinks() {
+        let mut rng = Rng::new(7);
+        let g = crate::gen::uniform(100, 2000, &mut rng);
+        let ranks = pagerank(&g, 5);
+        let sum: f64 = ranks.iter().sum();
+        // With few sinks the sum stays near 1.
+        assert!(sum > 0.5 && sum <= 1.0 + 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn star_graph_center_dominates() {
+        // All spokes point at vertex 0.
+        let edges: Vec<(u32, u32)> = (1..50u32).map(|v| (v, 0)).collect();
+        let g = Csr::from_edges(50, &edges);
+        let ranks = pagerank(&g, 3);
+        let center = ranks[0];
+        assert!(ranks[1..].iter().all(|&r| r < center));
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let mut rng = Rng::new(9);
+        let g = crate::gen::power_law(200, 4000, 0.8, &mut rng);
+        let a = pagerank(&g, 2);
+        let b = pagerank(&g, 2);
+        assert_eq!(max_diff(&a, &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn iteration_validates_input() {
+        let g = Csr::from_edges(3, &[(0, 1)]);
+        iteration(&g, &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # tako-mem — memory substrate
+//!
+//! The memory substrate under the simulated cache hierarchy:
+//!
+//! * [`addr`] — the 64-bit simulated address space, split into a *real*
+//!   region (backed by DRAM) and a *phantom* region (täkō address ranges
+//!   that live only in caches and are never backed by off-chip memory,
+//!   Sec 4 of the paper), plus [`addr::AddrRange`] and a bump allocator.
+//! * [`backing`] — [`backing::PhysMem`], a sparse, byte-accurate backing
+//!   store. The simulator is execution-driven: loads return real data, so
+//!   workloads can traverse graphs, decompress values, and replay journals.
+//! * [`dram`] — [`dram::Dram`], the timing model for the off-chip memory
+//!   system: four controllers with 100-cycle latency and a rolling
+//!   bandwidth bound of 11.8 GB/s each (Table 3).
+//!
+//! # Example
+//!
+//! ```
+//! use tako_mem::addr::Allocator;
+//! use tako_mem::backing::PhysMem;
+//!
+//! let mut alloc = Allocator::new();
+//! let range = alloc.alloc_real(1024);
+//! let mut mem = PhysMem::new();
+//! mem.write_u64(range.base, 0xDEAD_BEEF);
+//! assert_eq!(mem.read_u64(range.base), 0xDEAD_BEEF);
+//! ```
+
+pub mod addr;
+pub mod backing;
+pub mod dram;
+
+pub use addr::{Addr, AddrRange, Allocator};
+pub use backing::PhysMem;
+pub use dram::Dram;

@@ -1,0 +1,175 @@
+//! # tako-noc — mesh network-on-chip model
+//!
+//! Table 3's interconnect: tiles arranged in a 2-D mesh with 128-bit flits
+//! and links, 2-cycle routers, and 1-cycle links, using dimension-ordered
+//! (X-then-Y) routing. The model charges per-hop latency and counts
+//! flit-hops for the energy model; it does not simulate per-flit
+//! contention (the memory controllers are the bandwidth bottleneck in all
+//! of the paper's workloads).
+//!
+//! Addresses map to LLC banks by line-address interleaving, matching the
+//! banked, physically distributed LLC of the baseline CMP.
+//!
+//! # Example
+//!
+//! ```
+//! use tako_noc::Mesh;
+//! use tako_sim::config::NocConfig;
+//!
+//! let mesh = Mesh::new((4, 4), NocConfig::default());
+//! assert_eq!(mesh.hops(0, 15), 6); // corner to corner on a 4x4 mesh
+//! ```
+
+use tako_sim::config::{NocConfig, LINE_BYTES};
+use tako_sim::stats::{Counter, Stats};
+use tako_sim::{Cycle, TileId};
+
+/// Message payload classes, determining flit counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// A request/acknowledgement carrying only an address (1 flit header).
+    Control,
+    /// A full cache-line transfer (header + data flits).
+    Line,
+}
+
+/// The mesh interconnect.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    dims: (usize, usize),
+    cfg: NocConfig,
+}
+
+impl Mesh {
+    /// A mesh of `dims.0 × dims.1` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(dims: (usize, usize), cfg: NocConfig) -> Self {
+        assert!(dims.0 > 0 && dims.1 > 0, "mesh dimensions must be positive");
+        Mesh { dims, cfg }
+    }
+
+    /// Number of tiles in the mesh.
+    pub fn tiles(&self) -> usize {
+        self.dims.0 * self.dims.1
+    }
+
+    /// (row, col) of a tile.
+    fn coords(&self, t: TileId) -> (usize, usize) {
+        (t / self.dims.1, t % self.dims.1)
+    }
+
+    /// Manhattan hop count between two tiles (dimension-ordered routing).
+    pub fn hops(&self, from: TileId, to: TileId) -> u64 {
+        let (r0, c0) = self.coords(from);
+        let (r1, c1) = self.coords(to);
+        (r0.abs_diff(r1) + c0.abs_diff(c1)) as u64
+    }
+
+    /// Flits needed to carry `payload`.
+    pub fn flits(&self, payload: Payload) -> u64 {
+        match payload {
+            Payload::Control => 1,
+            Payload::Line => 1 + LINE_BYTES.div_ceil(self.cfg.flit_bytes),
+        }
+    }
+
+    /// Latency of sending `payload` from `from` to `to`, counting
+    /// flit-hops in `stats` for the energy model. Zero-hop (same tile)
+    /// messages are free.
+    pub fn transfer(
+        &self,
+        from: TileId,
+        to: TileId,
+        payload: Payload,
+        stats: &mut Stats,
+    ) -> Cycle {
+        let hops = self.hops(from, to);
+        if hops == 0 {
+            return 0;
+        }
+        let flits = self.flits(payload);
+        stats.add(Counter::NocFlitHops, flits * hops);
+        // Head-flit latency; body flits pipeline behind it one cycle each.
+        hops * (self.cfg.router_latency + self.cfg.link_latency) + (flits - 1)
+    }
+
+    /// The LLC bank (tile) holding `line_addr`, by line interleaving.
+    pub fn bank_of_line(&self, line_addr: u64) -> TileId {
+        ((line_addr / LINE_BYTES) % self.tiles() as u64) as usize
+    }
+
+    /// Average hop distance from `from` to all tiles (useful for modeling
+    /// traffic to the "average" bank).
+    pub fn mean_hops_from(&self, from: TileId) -> f64 {
+        let total: u64 = (0..self.tiles()).map(|t| self.hops(from, t)).sum();
+        total as f64 / self.tiles() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::new((4, 4), NocConfig::default())
+    }
+
+    #[test]
+    fn hop_counts() {
+        let m = mesh4();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 1), 1);
+        assert_eq!(m.hops(0, 4), 1);
+        assert_eq!(m.hops(0, 5), 2);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(15, 0), 6);
+    }
+
+    #[test]
+    fn flit_counts() {
+        let m = mesh4();
+        assert_eq!(m.flits(Payload::Control), 1);
+        assert_eq!(m.flits(Payload::Line), 5); // 1 + 64/16
+    }
+
+    #[test]
+    fn transfer_latency_and_energy() {
+        let m = mesh4();
+        let mut s = Stats::new();
+        // Same tile: free.
+        assert_eq!(m.transfer(3, 3, Payload::Line, &mut s), 0);
+        assert_eq!(s.get(Counter::NocFlitHops), 0);
+        // One hop control: router + link.
+        assert_eq!(m.transfer(0, 1, Payload::Control, &mut s), 3);
+        assert_eq!(s.get(Counter::NocFlitHops), 1);
+        // Corner-to-corner line: 6 hops * 3 cycles + 4 pipelined flits.
+        assert_eq!(m.transfer(0, 15, Payload::Line, &mut s), 22);
+        assert_eq!(s.get(Counter::NocFlitHops), 1 + 30);
+    }
+
+    #[test]
+    fn bank_interleave() {
+        let m = mesh4();
+        assert_eq!(m.bank_of_line(0), 0);
+        assert_eq!(m.bank_of_line(64), 1);
+        assert_eq!(m.bank_of_line(64 * 16), 0);
+    }
+
+    #[test]
+    fn mean_hops_reasonable() {
+        let m = mesh4();
+        let mean = m.mean_hops_from(0);
+        assert!(mean > 2.9 && mean < 3.1); // corner tile on 4x4: 3.0
+        let center = m.mean_hops_from(5);
+        assert!(center < mean);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mesh_panics() {
+        Mesh::new((0, 4), NocConfig::default());
+    }
+}

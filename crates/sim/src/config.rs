@@ -1,0 +1,496 @@
+//! System configuration (Table 3 of the paper).
+//!
+//! The full system is described by [`SystemConfig`]; substrate crates
+//! consume the sub-configs ([`CacheConfig`], [`NocConfig`], [`MemConfig`],
+//! [`EngineConfig`], [`CoreConfig`]). All defaults follow Table 3:
+//! 16 out-of-order cores at 2.4 GHz in a 4×4 mesh, 32 KB L1s, 128 KB L2s,
+//! an 8 MB inclusive LLC (512 KB/bank), 5×5 dataflow engines, and four
+//! memory controllers at 100-cycle latency and 11.8 GB/s each.
+
+/// Cache line size used throughout the hierarchy, in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// Replacement policy selector for a cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplPolicy {
+    /// Classic least-recently-used.
+    Lru,
+    /// Static re-reference interval prediction (SRRIP) \[62\].
+    Rrip,
+    /// täkō's RRIP variant (Sec 5.2): engine-issued fills insert at distant
+    /// RRPV, and victim selection guarantees at least one line per set with
+    /// no Morph registered (deadlock avoidance).
+    Trrip,
+}
+
+/// Geometry and timing of one cache array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Latency of a tag lookup, in cycles.
+    pub tag_latency: u64,
+    /// Latency of a data-array access, in cycles (charged on hits/fills).
+    pub data_latency: u64,
+    /// Replacement policy.
+    pub repl: ReplPolicy,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not describe at least one set.
+    pub fn sets(&self) -> u64 {
+        let lines = self.size_bytes / LINE_BYTES;
+        let sets = lines / u64::from(self.ways);
+        assert!(sets > 0, "cache too small for its associativity");
+        sets
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / LINE_BYTES
+    }
+
+    /// The paper's 32 KB, 8-way L1 data cache.
+    pub fn l1d_default() -> Self {
+        CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            tag_latency: 1,
+            data_latency: 2,
+            repl: ReplPolicy::Lru,
+        }
+    }
+
+    /// The paper's 128 KB, 8-way private L2 (2-cycle tag, 4-cycle data).
+    pub fn l2_default() -> Self {
+        CacheConfig {
+            size_bytes: 128 * 1024,
+            ways: 8,
+            tag_latency: 2,
+            data_latency: 4,
+            repl: ReplPolicy::Trrip,
+        }
+    }
+
+    /// One 512 KB, 16-way bank of the paper's 8 MB inclusive LLC
+    /// (3-cycle tag, 5-cycle data).
+    pub fn llc_bank_default() -> Self {
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            ways: 16,
+            tag_latency: 3,
+            data_latency: 5,
+            repl: ReplPolicy::Trrip,
+        }
+    }
+
+    /// The engine's small coherent 8 KB L1d (Table 2).
+    pub fn engine_l1d_default() -> Self {
+        CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 4,
+            tag_latency: 1,
+            data_latency: 1,
+            repl: ReplPolicy::Lru,
+        }
+    }
+}
+
+/// Kind of core pipeline to model (Fig 24 sweeps these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreKind {
+    /// Stall-on-use in-order pipeline: one outstanding miss.
+    InOrder,
+    /// Out-of-order core with a bounded window of outstanding loads.
+    OutOfOrder,
+}
+
+/// A core model's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Pipeline style.
+    pub kind: CoreKind,
+    /// Sustained issue width (instructions per cycle for non-memory work).
+    pub width: u32,
+    /// Maximum outstanding loads (memory-level parallelism window).
+    /// Ignored for [`CoreKind::InOrder`], which behaves as window 1.
+    pub mlp_window: u32,
+    /// Branch misprediction penalty in cycles.
+    pub mispredict_penalty: u64,
+}
+
+impl CoreConfig {
+    /// Goldmont-like 3-wide out-of-order core (paper baseline).
+    pub fn goldmont() -> Self {
+        CoreConfig {
+            kind: CoreKind::OutOfOrder,
+            width: 3,
+            mlp_window: 8,
+            mispredict_penalty: 14,
+        }
+    }
+
+    /// 2-wide out-of-order core (Fig 24 "small OOO").
+    pub fn small_ooo() -> Self {
+        CoreConfig {
+            kind: CoreKind::OutOfOrder,
+            width: 2,
+            mlp_window: 4,
+            mispredict_penalty: 12,
+        }
+    }
+
+    /// Scalar in-order core (Fig 24 "in-order").
+    pub fn in_order() -> Self {
+        CoreConfig {
+            kind: CoreKind::InOrder,
+            width: 1,
+            mlp_window: 1,
+            mispredict_penalty: 8,
+        }
+    }
+}
+
+/// Mesh network-on-chip parameters (Table 3: 128-bit flits and links,
+/// 2/1-cycle router/link delay).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Flit width in bytes.
+    pub flit_bytes: u64,
+    /// Per-hop router traversal latency in cycles.
+    pub router_latency: u64,
+    /// Per-hop link traversal latency in cycles.
+    pub link_latency: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            flit_bytes: 16,
+            router_latency: 2,
+            link_latency: 1,
+        }
+    }
+}
+
+/// Memory-system parameters (Table 3: 4 controllers, 100-cycle latency,
+/// 11.8 GB/s per controller ≈ 4.9 bytes/cycle at 2.4 GHz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Number of memory controllers, each serving an address slice.
+    pub controllers: usize,
+    /// Uncontended access latency in cycles.
+    pub latency: u64,
+    /// Sustained bandwidth per controller in bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            controllers: 4,
+            latency: 100,
+            bytes_per_cycle: 4.9,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Cycles of controller occupancy for transferring one cache line.
+    pub fn line_occupancy(&self) -> u64 {
+        (LINE_BYTES as f64 / self.bytes_per_cycle).ceil() as u64
+    }
+}
+
+/// Kind of near-cache engine to model (Figs 22/23 sweep these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The paper's spatial dataflow fabric with asynchronous firing.
+    Dataflow,
+    /// An in-order scalar core used as the engine (performs poorly, Sec 9).
+    InOrderCore,
+    /// Idealized engine: unlimited, zero-latency PEs; callbacks are bound
+    /// only by memory latency and data dependences.
+    Ideal,
+}
+
+/// Parameters of the per-tile täkō engine (Sec 5.3, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Engine execution model.
+    pub kind: EngineKind,
+    /// Number of integer (ALU) processing elements.
+    pub alu_pes: u32,
+    /// Number of memory processing elements (ports into the engine L1d).
+    pub mem_pes: u32,
+    /// Latency of one PE operation in cycles (Fig 23 sweeps 1–8).
+    pub pe_latency: u64,
+    /// Entries in the hardware callback buffer (Sec 9: 8 is sufficient).
+    pub callback_buffer: u32,
+    /// Static instructions storable per PE (Table 2: 16).
+    pub instrs_per_pe: u32,
+    /// Token-store entries per PE (Table 2: 8).
+    pub tokens_per_pe: u32,
+    /// Reverse-TLB entries (Sec 9: 256 with 2 MB pages).
+    pub rtlb_entries: u32,
+    /// Maximum concurrently executing callbacks (dynamic tag matching).
+    pub max_concurrent_callbacks: u32,
+    /// trrîp (Sec 5.2): engine-issued fills insert at distant priority.
+    /// Disable for the ablation study.
+    pub trrip: bool,
+    /// The engine's coherent L1 data cache.
+    pub l1d: CacheConfig,
+}
+
+impl EngineConfig {
+    /// The paper's default 5×5 fabric: 15 integer PEs, 10 memory PEs,
+    /// 1-cycle PE latency, 8-entry callback buffer.
+    pub fn default_5x5() -> Self {
+        EngineConfig {
+            kind: EngineKind::Dataflow,
+            alu_pes: 15,
+            mem_pes: 10,
+            pe_latency: 1,
+            callback_buffer: 8,
+            instrs_per_pe: 16,
+            tokens_per_pe: 8,
+            rtlb_entries: 256,
+            max_concurrent_callbacks: 8,
+            trrip: true,
+            l1d: CacheConfig::engine_l1d_default(),
+        }
+    }
+
+    /// A square fabric of `dim`×`dim` PEs, split 3:2 between ALU and
+    /// memory PEs like the paper's 5×5 (15 ALU + 10 memory).
+    pub fn square(dim: u32) -> Self {
+        let total = dim * dim;
+        let alu = (total * 3).div_ceil(5);
+        EngineConfig {
+            alu_pes: alu,
+            mem_pes: total - alu,
+            ..Self::default_5x5()
+        }
+    }
+
+    /// Idealized engine (unbounded, instantaneous compute).
+    pub fn ideal() -> Self {
+        EngineConfig {
+            kind: EngineKind::Ideal,
+            alu_pes: u32::MAX,
+            mem_pes: u32::MAX,
+            pe_latency: 0,
+            ..Self::default_5x5()
+        }
+    }
+
+    /// In-order-core engine (prior NDC designs; Sec 9 shows this is slow).
+    pub fn in_order_core() -> Self {
+        EngineConfig {
+            kind: EngineKind::InOrderCore,
+            ..Self::default_5x5()
+        }
+    }
+
+    /// Total PEs in the fabric.
+    pub fn total_pes(&self) -> u32 {
+        self.alu_pes.saturating_add(self.mem_pes)
+    }
+
+    /// Total static-instruction capacity of the fabric.
+    pub fn instr_capacity(&self) -> u32 {
+        self.total_pes().saturating_mul(self.instrs_per_pe)
+    }
+}
+
+/// Whether the L2 includes a strided prefetcher (Table 3: yes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchConfig {
+    /// Enable the stride prefetcher at the L2.
+    pub enabled: bool,
+    /// Prefetch degree: lines fetched ahead per detected stream.
+    pub degree: u32,
+    /// Accesses with a constant stride required before issuing prefetches.
+    pub train_threshold: u32,
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        PrefetchConfig {
+            enabled: true,
+            degree: 4,
+            train_threshold: 2,
+        }
+    }
+}
+
+/// Full system configuration (Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of tiles (each: core + L1s + L2 + LLC bank + engine).
+    pub tiles: usize,
+    /// Mesh dimensions; `mesh.0 * mesh.1 == tiles`.
+    pub mesh: (usize, usize),
+    /// Core model.
+    pub core: CoreConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private L2.
+    pub l2: CacheConfig,
+    /// One LLC bank (the LLC as a whole is `tiles` banks, inclusive).
+    pub llc_bank: CacheConfig,
+    /// L2 prefetcher.
+    pub prefetch: PrefetchConfig,
+    /// Mesh NoC.
+    pub noc: NocConfig,
+    /// Memory system.
+    pub mem: MemConfig,
+    /// Per-tile täkō engine.
+    pub engine: EngineConfig,
+}
+
+impl SystemConfig {
+    /// The paper's default 16-core system (Table 3).
+    pub fn default_16core() -> Self {
+        SystemConfig {
+            tiles: 16,
+            mesh: (4, 4),
+            core: CoreConfig::goldmont(),
+            l1d: CacheConfig::l1d_default(),
+            l2: CacheConfig::l2_default(),
+            llc_bank: CacheConfig::llc_bank_default(),
+            prefetch: PrefetchConfig::default(),
+            noc: NocConfig::default(),
+            mem: MemConfig::default(),
+            engine: EngineConfig::default_5x5(),
+        }
+    }
+
+    /// A system with `n` tiles arranged in the squarest possible mesh.
+    /// Memory bandwidth scales proportionally with cores (Fig 25).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_tiles(n: usize) -> Self {
+        assert!(n > 0, "system needs at least one tile");
+        let mut cfg = Self::default_16core();
+        cfg.tiles = n;
+        cfg.mesh = squarest_mesh(n);
+        // Paper (Fig 25): "memory bandwidth scales proportionally with
+        // cores" — keep controllers at 1 per 4 tiles, min 1.
+        cfg.mem.controllers = (n / 4).max(1);
+        cfg
+    }
+
+    /// Total LLC capacity across banks.
+    pub fn llc_total_bytes(&self) -> u64 {
+        self.llc_bank.size_bytes * self.tiles as u64
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::default_16core()
+    }
+}
+
+/// The most square `(rows, cols)` factorization of `n`.
+fn squarest_mesh(n: usize) -> (usize, usize) {
+    let mut best = (1, n);
+    let mut r = 1;
+    while r * r <= n {
+        if n.is_multiple_of(r) {
+            best = (r, n / r);
+        }
+        r += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table3() {
+        let cfg = SystemConfig::default_16core();
+        assert_eq!(cfg.tiles, 16);
+        assert_eq!(cfg.mesh, (4, 4));
+        assert_eq!(cfg.l1d.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l2.size_bytes, 128 * 1024);
+        assert_eq!(cfg.llc_bank.size_bytes, 512 * 1024);
+        assert_eq!(cfg.llc_total_bytes(), 8 * 1024 * 1024);
+        assert_eq!(cfg.mem.controllers, 4);
+        assert_eq!(cfg.mem.latency, 100);
+        assert_eq!(cfg.engine.alu_pes, 15);
+        assert_eq!(cfg.engine.mem_pes, 10);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let l2 = CacheConfig::l2_default();
+        assert_eq!(l2.lines(), 2048);
+        assert_eq!(l2.sets(), 256);
+        let llc = CacheConfig::llc_bank_default();
+        assert_eq!(llc.sets(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn degenerate_cache_panics() {
+        CacheConfig {
+            size_bytes: 64,
+            ways: 8,
+            tag_latency: 1,
+            data_latency: 1,
+            repl: ReplPolicy::Lru,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn mesh_factorization() {
+        assert_eq!(squarest_mesh(16), (4, 4));
+        assert_eq!(squarest_mesh(36), (6, 6));
+        assert_eq!(squarest_mesh(8), (2, 4));
+        assert_eq!(squarest_mesh(7), (1, 7));
+        assert_eq!(squarest_mesh(1), (1, 1));
+    }
+
+    #[test]
+    fn scaled_system_scales_bandwidth() {
+        let cfg = SystemConfig::with_tiles(36);
+        assert_eq!(cfg.mesh, (6, 6));
+        assert_eq!(cfg.mem.controllers, 9);
+        let tiny = SystemConfig::with_tiles(2);
+        assert_eq!(tiny.mem.controllers, 1);
+    }
+
+    #[test]
+    fn engine_variants() {
+        let sq = EngineConfig::square(5);
+        assert_eq!(sq.alu_pes, 15);
+        assert_eq!(sq.mem_pes, 10);
+        let sq3 = EngineConfig::square(3);
+        assert_eq!(sq3.total_pes(), 9);
+        assert_eq!(EngineConfig::ideal().pe_latency, 0);
+        assert_eq!(
+            EngineConfig::default_5x5().instr_capacity(),
+            25 * 16
+        );
+    }
+
+    #[test]
+    fn mem_line_occupancy() {
+        let mem = MemConfig::default();
+        // 64 B at 4.9 B/cycle → 14 cycles.
+        assert_eq!(mem.line_occupancy(), 14);
+    }
+}

@@ -1,0 +1,44 @@
+//! # tako-sim — simulation kernel for the täkō reproduction
+//!
+//! This crate provides the shared infrastructure used by every other crate
+//! in the workspace:
+//!
+//! * [`config`] — the full system configuration (Table 3 of the paper),
+//!   decomposed into per-component sub-configs so substrate crates depend
+//!   only on what they model.
+//! * [`stats`] — a flat, cheap counter registry plus per-phase counters and
+//!   latency histograms; every simulated event increments counters here.
+//! * [`energy`] — the dynamic-energy model: post-hoc conversion from event
+//!   counters to picojoules, following the orderings of the parameters the
+//!   paper cites (DRAM ≫ LLC > L2 > L1 > engine PE; core instruction ≫
+//!   engine op).
+//! * [`rng`] — a tiny deterministic SplitMix64/xoshiro256** implementation
+//!   so every experiment is reproducible bit-for-bit without depending on
+//!   `rand`'s version-dependent streams.
+//!
+//! Time is measured in [`Cycle`]s (2.4 GHz in the default configuration).
+//!
+//! # Example
+//!
+//! ```
+//! use tako_sim::config::SystemConfig;
+//! use tako_sim::stats::{Counter, Stats};
+//!
+//! let cfg = SystemConfig::default_16core();
+//! assert_eq!(cfg.tiles, 16);
+//!
+//! let mut stats = Stats::new();
+//! stats.bump(Counter::DramRead);
+//! assert_eq!(stats.get(Counter::DramRead), 1);
+//! ```
+
+pub mod config;
+pub mod energy;
+pub mod rng;
+pub mod stats;
+
+/// A simulated clock cycle. The default system runs at 2.4 GHz.
+pub type Cycle = u64;
+
+/// Identifier of a tile (core + L2 + LLC bank + engine) in the mesh.
+pub type TileId = usize;

@@ -1,0 +1,243 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! All randomness in the workspace flows through [`Rng`], a xoshiro256**
+//! generator seeded via SplitMix64. Keeping the generator in-tree (rather
+//! than relying on `rand`'s stream, which may change across versions)
+//! guarantees that every experiment is reproducible bit-for-bit.
+//!
+//! The module also provides [`Zipfian`], the skewed key distribution the
+//! paper uses for the decompression study ("indices are randomly generated
+//! following a Zipfian distribution over 16 K values", Sec 3.3).
+
+/// SplitMix64 step, used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256** pseudo-random generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed (expanded with SplitMix64).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` via Lemire's multiply-shift reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// A Zipfian distribution over `[0, n)` with skew `theta`, using the
+/// standard rejection-inversion-free method of Gray et al. (the
+/// formulation popularized by YCSB).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// A Zipfian distribution over `n` items with exponent `theta`
+    /// (commonly 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "n must be positive");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1) for this sampler"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
+            / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw a sample in `[0, n)`; rank 0 is the most popular item.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let raw = (self.n as f64
+            * (self.eta * u - self.eta + 1.0).powf(self.alpha))
+            as u64;
+        raw.min(self.n - 1)
+    }
+
+    /// The number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        Rng::new(0).below(0);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = Rng::new(9);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Rng::new(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skew() {
+        let z = Zipfian::new(16 * 1024, 0.99);
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut head = 0u64;
+        let samples = 100_000;
+        for _ in 0..samples {
+            if z.sample(&mut rng) < 16 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 over 16 K items, the top-16 ranks draw a large
+        // fraction of all samples (that is the locality täkō exploits).
+        assert!(
+            head > samples / 4,
+            "expected heavy head, got {head}/{samples}"
+        );
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let z = Zipfian::new(100, 0.5);
+        let mut rng = Rng::new(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn zipf_zero_items() {
+        Zipfian::new(0, 0.9);
+    }
+}

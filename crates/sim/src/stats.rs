@@ -1,0 +1,392 @@
+//! Event counters, per-phase counters, and latency histograms.
+//!
+//! Every simulated event increments a [`Counter`] in a flat array, which
+//! keeps the hot path to a single add. Workloads with distinct phases
+//! (PageRank's edge/bin/vertex phases) switch the active phase with
+//! [`Stats::set_phase`]; DRAM traffic, instructions, and cycles are also
+//! attributed to the active phase for the per-phase breakdown figures
+//! (Figs 14 and 17).
+
+use crate::Cycle;
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident,)+) => {
+        /// A simulator event category.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        #[non_exhaustive]
+        pub enum Counter {
+            $($(#[$doc])* $name,)+
+        }
+
+        impl Counter {
+            /// Number of counter categories.
+            pub const COUNT: usize = [$(Counter::$name,)+].len();
+
+            /// All counters, in declaration order.
+            pub const ALL: [Counter; Counter::COUNT] = [$(Counter::$name,)+];
+
+            /// Stable display name of the counter.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(Counter::$name => stringify!($name),)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Instructions retired by cores (all kinds).
+    CoreInstr,
+    /// Loads issued by cores.
+    CoreLoad,
+    /// Stores issued by cores.
+    CoreStore,
+    /// Remote memory operations (relaxed atomics) issued by cores.
+    CoreRmo,
+    /// Conditional branches retired by cores.
+    CoreBranch,
+    /// Branch mispredictions suffered by cores.
+    BranchMispredict,
+    /// L1d hits.
+    L1dHit,
+    /// L1d misses.
+    L1dMiss,
+    /// L2 hits.
+    L2Hit,
+    /// L2 misses.
+    L2Miss,
+    /// LLC hits.
+    LlcHit,
+    /// LLC misses.
+    LlcMiss,
+    /// Lines evicted from the L2 (clean or dirty).
+    L2Eviction,
+    /// Dirty lines written back from the L2.
+    L2Writeback,
+    /// Lines evicted from the LLC.
+    LlcEviction,
+    /// Dirty lines written back from the LLC.
+    LlcWriteback,
+    /// Cache-line reads served by DRAM.
+    DramRead,
+    /// Cache-line writes absorbed by DRAM.
+    DramWrite,
+    /// Flit-hops traversed on the mesh.
+    NocFlitHops,
+    /// Prefetches issued by the L2 stride prefetcher.
+    PrefetchIssued,
+    /// Prefetched lines that were later demanded (useful prefetches).
+    PrefetchUseful,
+    /// Coherence invalidations delivered to private caches.
+    CoherenceInval,
+    /// onMiss callbacks executed.
+    CbOnMiss,
+    /// onEviction callbacks executed.
+    CbOnEviction,
+    /// onWriteback callbacks executed.
+    CbOnWriteback,
+    /// Operations executed on engine PEs (fabric instructions).
+    EngineInstr,
+    /// Memory operations issued by engines.
+    EngineMemOp,
+    /// Engine L1d hits.
+    EngineL1Hit,
+    /// Engine L1d misses.
+    EngineL1Miss,
+    /// Engine rTLB hits.
+    RtlbHit,
+    /// Engine rTLB misses.
+    RtlbMiss,
+    /// Cycles a callback waited for a callback-buffer slot.
+    CbBufferStallCycles,
+    /// Callbacks that found the callback buffer full on arrival.
+    CbBufferFull,
+    /// Lines flushed by flushData.
+    FlushedLines,
+    /// User-space interrupts raised by callbacks.
+    UserInterrupt,
+    /// Application-level: decompression operations performed.
+    Decompression,
+    /// Application-level: journal entries written (NVM study).
+    JournalWrite,
+    /// Application-level: updates applied in place (PHI study).
+    PhiInPlace,
+    /// Application-level: updates logged to bins (PHI study).
+    PhiBinned,
+    /// Application-level: edges logged as unprocessed (HATS study).
+    HatsEdgeLogged,
+    /// Application-level: edges emitted by the HATS traversal engine.
+    HatsEdgeEmitted,
+}
+
+/// Number of workload phases tracked for per-phase breakdowns.
+pub const MAX_PHASES: usize = 4;
+
+/// Per-phase counters for the breakdown figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// DRAM accesses (reads + writes) attributed to the phase.
+    pub dram_accesses: u64,
+    /// Core instructions attributed to the phase.
+    pub core_instrs: u64,
+    /// L1d misses attributed to the phase.
+    pub l1d_misses: u64,
+    /// L2 misses attributed to the phase.
+    pub l2_misses: u64,
+    /// LLC misses attributed to the phase.
+    pub llc_misses: u64,
+    /// Coherence invalidations attributed to the phase.
+    pub invals: u64,
+}
+
+/// A fixed-bucket latency histogram (powers of two) with exact mean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 16],
+    sum: u64,
+    count: u64,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 16],
+            sum: 0,
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, latency: Cycle) {
+        let idx = (64 - latency.leading_zeros() as usize).min(15);
+        self.buckets[idx] += 1;
+        self.sum += latency;
+        self.count += 1;
+        self.max = self.max.max(latency);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all samples (e.g., cumulative load latency for Fig 17).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Bucket counts; bucket `i` holds samples in `[2^(i-1), 2^i)`.
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
+    }
+
+    /// Fraction of samples at or below `latency` (approximate, by bucket).
+    pub fn cdf_at(&self, latency: Cycle) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let idx = (64 - latency.leading_zeros() as usize).min(15);
+        let below: u64 = self.buckets[..=idx].iter().sum();
+        below as f64 / self.count as f64
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The central statistics registry threaded through the simulator.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    counters: [u64; Counter::COUNT],
+    phases: [PhaseStats; MAX_PHASES],
+    current_phase: usize,
+    /// Core load-to-use latency (Fig 17, right).
+    pub load_latency: LatencyHistogram,
+    /// Callback execution latency on engines.
+    pub callback_latency: LatencyHistogram,
+    /// Live dataflow tokens sampled while engines are active (Sec 5.3).
+    pub live_tokens: LatencyHistogram,
+}
+
+impl Stats {
+    /// A zeroed registry with phase 0 active.
+    pub fn new() -> Self {
+        Stats {
+            counters: [0; Counter::COUNT],
+            phases: [PhaseStats::default(); MAX_PHASES],
+            current_phase: 0,
+            load_latency: LatencyHistogram::new(),
+            callback_latency: LatencyHistogram::new(),
+            live_tokens: LatencyHistogram::new(),
+        }
+    }
+
+    /// Increment `c` by one.
+    #[inline]
+    pub fn bump(&mut self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Increment `c` by `n`, attributing phase-tracked categories to the
+    /// active phase.
+    #[inline]
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c as usize] += n;
+        let phase = &mut self.phases[self.current_phase];
+        match c {
+            Counter::DramRead | Counter::DramWrite => phase.dram_accesses += n,
+            Counter::CoreInstr => phase.core_instrs += n,
+            Counter::L1dMiss => phase.l1d_misses += n,
+            Counter::L2Miss => phase.l2_misses += n,
+            Counter::LlcMiss => phase.llc_misses += n,
+            Counter::CoherenceInval => phase.invals += n,
+            _ => {}
+        }
+    }
+
+    /// Current value of `c`.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Select the active phase for subsequent per-phase attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase >= MAX_PHASES`.
+    pub fn set_phase(&mut self, phase: usize) {
+        assert!(phase < MAX_PHASES, "phase out of range");
+        self.current_phase = phase;
+    }
+
+    /// The active phase index.
+    pub fn phase(&self) -> usize {
+        self.current_phase
+    }
+
+    /// Per-phase breakdown counters.
+    pub fn phases(&self) -> &[PhaseStats; MAX_PHASES] {
+        &self.phases
+    }
+
+    /// Total DRAM accesses (reads + writes).
+    pub fn dram_accesses(&self) -> u64 {
+        self.get(Counter::DramRead) + self.get(Counter::DramWrite)
+    }
+
+    /// Total instructions across cores and engines.
+    pub fn total_instrs(&self) -> u64 {
+        self.get(Counter::CoreInstr) + self.get(Counter::EngineInstr)
+    }
+
+    /// Pretty-print all non-zero counters, one per line.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for c in Counter::ALL {
+            let v = self.get(c);
+            if v != 0 {
+                out.push_str(&format!("{:<22} {v}\n", c.name()));
+            }
+        }
+        out
+    }
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut s = Stats::new();
+        assert_eq!(s.get(Counter::L2Hit), 0);
+        s.bump(Counter::L2Hit);
+        s.add(Counter::L2Hit, 3);
+        assert_eq!(s.get(Counter::L2Hit), 4);
+    }
+
+    #[test]
+    fn phase_attribution() {
+        let mut s = Stats::new();
+        s.add(Counter::DramRead, 5);
+        s.set_phase(2);
+        s.add(Counter::DramWrite, 7);
+        s.add(Counter::CoreInstr, 11);
+        assert_eq!(s.phases()[0].dram_accesses, 5);
+        assert_eq!(s.phases()[2].dram_accesses, 7);
+        assert_eq!(s.phases()[2].core_instrs, 11);
+        assert_eq!(s.dram_accesses(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase out of range")]
+    fn phase_bounds() {
+        Stats::new().set_phase(MAX_PHASES);
+    }
+
+    #[test]
+    fn histogram_mean_and_cdf() {
+        let mut h = LatencyHistogram::new();
+        for lat in [1u64, 2, 4, 100, 200] {
+            h.record(lat);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 61.4).abs() < 1e-9);
+        assert_eq!(h.max(), 200);
+        assert!(h.cdf_at(4) >= 0.6);
+        assert!((h.cdf_at(1 << 20) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.cdf_at(10), 0.0);
+    }
+
+    #[test]
+    fn counter_names_unique() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn report_lists_nonzero() {
+        let mut s = Stats::new();
+        s.bump(Counter::Decompression);
+        let r = s.report();
+        assert!(r.contains("Decompression"));
+        assert!(!r.contains("JournalWrite"));
+    }
+}

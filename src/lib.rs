@@ -1,0 +1,53 @@
+//! # tako — a polymorphic cache hierarchy, reproduced in Rust
+//!
+//! This crate is the facade of the täkō reproduction workspace
+//! (Schwedock et al., *täkō: A Polymorphic Cache Hierarchy for
+//! General-Purpose Optimization of Data Movement*, ISCA 2022). It
+//! re-exports the public API of every member crate:
+//!
+//! * [`core`] (`tako-core`) — the täkō architecture: [`core::Morph`],
+//!   [`core::TakoSystem`], callbacks, engines.
+//! * [`sim`] (`tako-sim`) — configuration, statistics, energy, RNG.
+//! * [`mem`], [`noc`], [`cache`], [`dataflow`], [`cpu`] — the simulated
+//!   substrates (memory, mesh, caches, engine fabric, cores).
+//! * [`graph`] — graph data structures and generators.
+//! * [`workloads`] — the paper's five case studies with all baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tako::core::{EngineCtx, Morph, MorphLevel, TakoSystem};
+//! use tako::sim::config::SystemConfig;
+//!
+//! /// Phantom lines materialize as their own word indices.
+//! struct Iota;
+//! impl Morph for Iota {
+//!     fn name(&self) -> &str { "iota" }
+//!     fn on_miss(&mut self, ctx: &mut EngineCtx<'_>) {
+//!         let base = ctx.offset() / 8;
+//!         let dep = ctx.arg();
+//!         for i in 0..8 {
+//!             ctx.line_write_u64(i as usize * 8, base + i, &[dep]);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sys = TakoSystem::new(SystemConfig::default_16core());
+//! let h = sys.register_phantom(MorphLevel::Private, 4096, Box::new(Iota))?;
+//! let (value, _done) = sys.debug_read_u64(0, h.range().base + 8 * 7, 0);
+//! assert_eq!(value, 7);
+//! # Ok::<(), tako::core::TakoError>(())
+//! ```
+//!
+//! See `examples/` for runnable programs and `crates/bench` for the
+//! harnesses that regenerate every figure and table of the paper.
+
+pub use tako_cache as cache;
+pub use tako_core as core;
+pub use tako_cpu as cpu;
+pub use tako_dataflow as dataflow;
+pub use tako_graph as graph;
+pub use tako_mem as mem;
+pub use tako_noc as noc;
+pub use tako_sim as sim;
+pub use tako_workloads as workloads;
