@@ -1,32 +1,106 @@
-//! Runs every figure/table harness in sequence (use `--scale` to shrink).
-use tako_bench::{experiments as e, Opts};
+//! Runs every figure/table harness, fanned out across `--jobs` worker
+//! threads, printing each harness's output in the fixed table order
+//! (use `--scale` to shrink workloads).
+//!
+//! Extra flags beyond the shared [`Opts`] set:
+//!
+//! ```text
+//! --bench-json <path>   also write a BENCH_sim.json throughput report
+//! --bench               shorthand for --bench-json BENCH_sim.json
+//! ```
+//!
+//! The printed experiment output is byte-identical for every `--jobs`
+//! value; only the timing annotations and the JSON report vary.
 
-type Experiment = fn(Opts) -> String;
+use std::time::Instant;
+
+use tako_bench::{run_all, warn_unknown, Opts};
+
+/// Flags specific to this binary, parsed from the leftovers of
+/// [`Opts::parse`].
+fn parse_bench_flags(unknown: Vec<String>) -> Option<String> {
+    let mut json_path = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < unknown.len() {
+        match unknown[i].as_str() {
+            "--bench" => {
+                json_path.get_or_insert_with(|| "BENCH_sim.json".to_string());
+            }
+            "--bench-json" => {
+                if let Some(p) = unknown.get(i + 1) {
+                    json_path = Some(p.clone());
+                    i += 1;
+                } else {
+                    eprintln!("warning: --bench-json needs a path");
+                }
+            }
+            other => rest.push(other.to_string()),
+        }
+        i += 1;
+    }
+    warn_unknown(&rest);
+    json_path
+}
 
 fn main() {
-    let opts = Opts::from_args();
-    let experiments: &[(&str, Experiment)] = &[
-        ("fig06", e::fig06_decompress),
-        ("fig07", e::fig07_decompress_count),
-        ("fig13", e::fig13_phi),
-        ("fig14", e::fig14_phi_dram),
-        ("fig16", e::fig16_hats),
-        ("fig17", e::fig17_hats_breakdown),
-        ("fig19", e::fig19_nvm),
-        ("fig20", e::fig20_nvm_instrs),
-        ("fig21", e::fig21_sidechannel),
-        ("fig22", e::fig22_fabric_size),
-        ("fig23", e::fig23_pe_latency),
-        ("fig24", e::fig24_core_uarch),
-        ("fig25", e::fig25_scalability),
-        ("table2", e::table2_overhead),
-        ("sens_cb", e::sens_callback_buffer),
-        ("sens_rtlb", e::sens_rtlb),
-        ("ablations", e::ablations),
-    ];
-    for (name, f) in experiments {
-        let t0 = std::time::Instant::now();
-        let out = f(opts);
-        println!("{out}  [{name} took {:.1?}]\n", t0.elapsed());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, unknown) = Opts::parse(&args);
+    let json_path = parse_bench_flags(unknown);
+
+    let t0 = Instant::now();
+    let results = run_all(opts);
+    let total_wall = t0.elapsed();
+
+    for r in &results {
+        println!("{}  [{} took {:.1?}]\n", r.output, r.name, r.wall);
     }
+
+    let accesses = tako_sim::stats::simulated_accesses();
+    let total_s = total_wall.as_secs_f64();
+    eprintln!(
+        "all experiments: {total_s:.1}s wall on {} jobs, \
+         {accesses} simulated accesses ({:.0}/s)",
+        opts.jobs,
+        accesses as f64 / total_s.max(1e-9),
+    );
+
+    if let Some(path) = json_path {
+        let json = bench_json(opts, total_s, accesses, &results);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("error: writing {path}: {e}"),
+        }
+    }
+}
+
+/// Hand-rolled JSON (the workspace carries no serde): the throughput
+/// report consumed by EXPERIMENTS.md's benchmarking section.
+fn bench_json(
+    opts: Opts,
+    total_wall_s: f64,
+    accesses: u64,
+    results: &[tako_bench::ExperimentResult],
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    s.push_str(&format!("  \"scale\": {},\n", opts.scale));
+    s.push_str(&format!("  \"seed\": {},\n", opts.seed));
+    s.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
+    s.push_str(&format!("  \"simulated_accesses\": {accesses},\n"));
+    s.push_str(&format!(
+        "  \"accesses_per_sec\": {:.0},\n",
+        accesses as f64 / total_wall_s.max(1e-9)
+    ));
+    s.push_str("  \"experiments\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": {{\"wall_s\": {:.3}}}{comma}\n",
+            r.name,
+            r.wall.as_secs_f64()
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
 }

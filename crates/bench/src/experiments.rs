@@ -4,6 +4,11 @@
 //! evaluation section, printing the same rows/series the paper reports.
 //! DESIGN.md §4 maps experiments to modules; EXPERIMENTS.md records
 //! paper-vs-measured outcomes.
+//!
+//! Variant sweeps fan out across `opts.jobs` workers via
+//! [`run_variants`]: every simulation is an independent, seeded,
+//! single-threaded `TakoSystem`, and results are collected in input
+//! order, so the printed output does not depend on the job count.
 
 use tako_sim::config::{
     CoreConfig, EngineConfig, SystemConfig,
@@ -11,7 +16,7 @@ use tako_sim::config::{
 use tako_sim::stats::Counter;
 use tako_workloads::{decompress, hats, nvm, phi, sidechannel, soa};
 
-use crate::{fx, pct, row, Opts};
+use crate::{fx, pct, row, run_variants, Opts};
 
 fn baseline_relative(
     out: &mut String,
@@ -35,48 +40,63 @@ fn baseline_relative(
 // Fig 6 / Fig 7 — decompression
 // ----------------------------------------------------------------------
 
+/// Workload sizes shared by the two decompression figures, so Fig 7
+/// counts decompressions on exactly the run Fig 6 times (`--paper`
+/// included — Fig 7 used to ignore it).
+fn decompress_params(opts: Opts) -> decompress::Params {
+    decompress::Params {
+        values: if opts.paper {
+            16 * 1024
+        } else {
+            opts.sized(16 * 1024) as u64
+        },
+        accesses: if opts.paper {
+            32 * 1024
+        } else {
+            opts.sized(32 * 1024) as u64
+        },
+        theta: 0.99,
+        seed: opts.seed,
+    }
+}
+
 /// Fig 6: speedup and relative dynamic energy for the decompression
 /// example, per variant. The paper reports täkō at 2.2x speedup / 61%
 /// energy savings vs software, with NDC *hurting*.
 pub fn fig06_decompress(opts: Opts) -> String {
-    let params = decompress::Params {
-        values: if opts.paper { 16 * 1024 } else { opts.sized(16 * 1024) as u64 },
-        accesses: if opts.paper { 32 * 1024 } else { opts.sized(32 * 1024) as u64 },
-        theta: 0.99,
-        seed: opts.seed,
-    };
+    let params = decompress_params(opts);
     let cfg = SystemConfig::default_16core();
     let mut out = String::from(
         "# Fig 6: decompression — speedup & energy vs software baseline\n",
     );
-    let base = decompress::run(decompress::Variant::Software, params, &cfg);
-    for v in decompress::Variant::ALL {
-        let r = decompress::run(v, params, &cfg);
+    let results = run_variants(opts, &decompress::Variant::ALL, |v| {
+        decompress::run(v, params, &cfg)
+    });
+    let (base_cycles, base_energy) =
+        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
+    for (v, r) in decompress::Variant::ALL.iter().zip(&results) {
         assert!((r.average - r.expected).abs() < 1e-9, "functional check");
         baseline_relative(
             &mut out,
             v.label(),
             r.run.cycles,
             r.run.energy_uj,
-            base.run.cycles,
-            base.run.energy_uj,
+            base_cycles,
+            base_energy,
         );
     }
     out
 }
 
-/// Fig 7: number of decompressions per variant.
+/// Fig 7: number of decompressions per variant (same sizes as Fig 6).
 pub fn fig07_decompress_count(opts: Opts) -> String {
-    let params = decompress::Params {
-        values: opts.sized(16 * 1024) as u64,
-        accesses: opts.sized(32 * 1024) as u64,
-        theta: 0.99,
-        seed: opts.seed,
-    };
+    let params = decompress_params(opts);
     let cfg = SystemConfig::default_16core();
     let mut out = String::from("# Fig 7: number of decompressions\n");
-    for v in decompress::Variant::ALL {
-        let r = decompress::run(v, params, &cfg);
+    let results = run_variants(opts, &decompress::Variant::ALL, |v| {
+        decompress::run(v, params, &cfg)
+    });
+    for (v, r) in decompress::Variant::ALL.iter().zip(&results) {
         out.push_str(&row(
             v.label(),
             &[("decompressions", r.decompressions.to_string())],
@@ -138,16 +158,19 @@ pub fn fig13_phi(opts: Opts) -> String {
     let mut out = String::from(
         "# Fig 13: PHI PageRank — speedup & energy vs software baseline\n",
     );
-    let base = phi::run(phi::Variant::Software, &params, &cfg);
-    for v in phi::Variant::ALL {
-        let r = phi::run(v, &params, &cfg);
+    let results = run_variants(opts, &phi::Variant::ALL, |v| {
+        phi::run(v, &params, &cfg)
+    });
+    let (base_cycles, base_energy) =
+        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
+    for (v, r) in phi::Variant::ALL.iter().zip(&results) {
         baseline_relative(
             &mut out,
             v.label(),
             r.run.cycles,
             r.run.energy_uj,
-            base.run.cycles,
-            base.run.energy_uj,
+            base_cycles,
+            base_energy,
         );
     }
     out
@@ -159,8 +182,10 @@ pub fn fig14_phi_dram(opts: Opts) -> String {
     let cfg = phi_cfg(opts);
     let mut out =
         String::from("# Fig 14: DRAM accesses per phase (edge/bin/vertex)\n");
-    for v in phi::Variant::ALL {
-        let r = phi::run(v, &params, &cfg);
+    let results = run_variants(opts, &phi::Variant::ALL, |v| {
+        phi::run(v, &params, &cfg)
+    });
+    for (v, r) in phi::Variant::ALL.iter().zip(&results) {
         let ph = r.run.stats.phases();
         out.push_str(&row(
             v.label(),
@@ -222,16 +247,19 @@ pub fn fig16_hats(opts: Opts) -> String {
     let mut out = String::from(
         "# Fig 16: HATS PageRank — speedup & energy vs vertex-ordered\n",
     );
-    let base = hats::run(hats::Variant::VertexOrdered, &params, &cfg);
-    for v in hats::Variant::ALL {
-        let r = hats::run(v, &params, &cfg);
+    let results = run_variants(opts, &hats::Variant::ALL, |v| {
+        hats::run(v, &params, &cfg)
+    });
+    let (base_cycles, base_energy) =
+        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = VertexOrdered
+    for (v, r) in hats::Variant::ALL.iter().zip(&results) {
         baseline_relative(
             &mut out,
             v.label(),
             r.run.cycles,
             r.run.energy_uj,
-            base.run.cycles,
-            base.run.energy_uj,
+            base_cycles,
+            base_energy,
         );
     }
     out
@@ -245,8 +273,10 @@ pub fn fig17_hats_breakdown(opts: Opts) -> String {
     let mut out = String::from(
         "# Fig 17: HATS breakdown (DRAM / mispredicts per edge / load latency)\n",
     );
-    for v in hats::Variant::ALL {
-        let r = hats::run(v, &params, &cfg);
+    let results = run_variants(opts, &hats::Variant::ALL, |v| {
+        hats::run(v, &params, &cfg)
+    });
+    for (v, r) in hats::Variant::ALL.iter().zip(&results) {
         out.push_str(&row(
             v.label(),
             &[
@@ -270,11 +300,12 @@ pub fn fig17_hats_breakdown(opts: Opts) -> String {
 /// (paper: up to 2.1x under the L2 capacity, falling back beyond).
 pub fn fig19_nvm(opts: Opts) -> String {
     let cfg = SystemConfig::default_16core();
-    let sizes: &[u64] = &[1, 4, 16, 32, 64, 128];
+    let sizes: [u64; 6] = [1, 4, 16, 32, 64, 128];
     let mut out = String::from(
         "# Fig 19: NVM transactions — speedup & energy vs journaling, by txn size\n",
     );
-    for &kb in sizes {
+    // One worker item per transaction size (each runs its own baseline).
+    let results = run_variants(opts, &sizes, |kb| {
         let params = nvm::Params {
             txn_bytes: kb * 1024,
             txns: (opts.sized(4 << 20) as u64 / (kb * 1024)).clamp(4, 256),
@@ -282,6 +313,9 @@ pub fn fig19_nvm(opts: Opts) -> String {
         };
         let base = nvm::run(nvm::Variant::Journaling, params, &cfg);
         let tako = nvm::run(nvm::Variant::Tako, params, &cfg);
+        (base, tako)
+    });
+    for (kb, (base, tako)) in sizes.iter().zip(&results) {
         assert!(base.data_correct && tako.data_correct);
         out.push_str(&row(
             &format!("{kb}KB"),
@@ -311,8 +345,10 @@ pub fn fig20_nvm_instrs(opts: Opts) -> String {
     };
     let mut out =
         String::from("# Fig 20: instructions per 8 B written (16 KB txns)\n");
-    for v in nvm::Variant::ALL {
-        let r = nvm::run(v, params, &cfg);
+    let results = run_variants(opts, &nvm::Variant::ALL, |v| {
+        nvm::run(v, params, &cfg)
+    });
+    for (v, r) in nvm::Variant::ALL.iter().zip(&results) {
         out.push_str(&row(
             v.label(),
             &[
@@ -344,11 +380,14 @@ pub fn fig21_sidechannel(opts: Opts) -> String {
         ..sidechannel::Params::default()
     };
     let mut out = String::from("# Fig 21: prime+probe attack trace\n");
-    for (label, v) in [
+    let variants = [
         ("baseline", sidechannel::Variant::Baseline),
         ("tako", sidechannel::Variant::Tako),
-    ] {
-        let r = sidechannel::run(v, params, &cfg);
+    ];
+    let results = run_variants(opts, &variants, |(_, v)| {
+        sidechannel::run(v, params, &cfg)
+    });
+    for ((label, _), r) in variants.iter().zip(&results) {
         let trace: String = r
             .touched
             .iter()
@@ -414,11 +453,13 @@ pub fn fig22_fabric_size(opts: Opts) -> String {
         configs.push((format!("{dim}x{dim}"), EngineConfig::square(dim)));
     }
     configs.push(("ideal".into(), EngineConfig::ideal()));
-    for (label, engine) in configs {
-        let (base, tako) = hats_speedup_with_engine(opts, engine);
+    let results = run_variants(opts, &configs, |(_, engine)| {
+        hats_speedup_with_engine(opts, engine)
+    });
+    for ((label, _), (base, tako)) in configs.iter().zip(&results) {
         out.push_str(&row(
-            &label,
-            &[("speedup", fx(base as f64 / tako as f64))],
+            label,
+            &[("speedup", fx(*base as f64 / *tako as f64))],
         ));
     }
     out
@@ -428,13 +469,16 @@ pub fn fig22_fabric_size(opts: Opts) -> String {
 /// 8 cycles, speedup only drops ~30% — MLP, not arithmetic, dominates.
 pub fn fig23_pe_latency(opts: Opts) -> String {
     let mut out = String::from("# Fig 23: HATS speedup vs PE latency\n");
-    for lat in [1u64, 2, 4, 8] {
+    let lats: [u64; 4] = [1, 2, 4, 8];
+    let results = run_variants(opts, &lats, |lat| {
         let mut engine = EngineConfig::default_5x5();
         engine.pe_latency = lat;
-        let (base, tako) = hats_speedup_with_engine(opts, engine);
+        hats_speedup_with_engine(opts, engine)
+    });
+    for (lat, (base, tako)) in lats.iter().zip(&results) {
         out.push_str(&row(
             &format!("{lat}-cycle"),
-            &[("speedup", fx(base as f64 / tako as f64))],
+            &[("speedup", fx(*base as f64 / *tako as f64))],
         ));
     }
     out
@@ -452,24 +496,25 @@ pub fn fig24_core_uarch(opts: Opts) -> String {
     params.edges = opts.sized(2 << 20);
     let mut out =
         String::from("# Fig 24: PHI speedup across core microarchitectures\n");
-    for (label, core) in [
+    let uarchs = [
         ("in-order", CoreConfig::in_order()),
         ("2-wide-ooo", CoreConfig::small_ooo()),
         ("3-wide-ooo", CoreConfig::goldmont()),
-    ] {
+    ];
+    let results = run_variants(opts, &uarchs, |(_, core)| {
         let mut cfg = SystemConfig::default_16core();
         cfg.core = core;
         let base = phi::run(phi::Variant::Software, &params, &cfg);
         let tako = phi::run(phi::Variant::Tako, &params, &cfg);
+        (base.run.cycles, tako.run.cycles)
+    });
+    for ((label, _), (base, tako)) in uarchs.iter().zip(&results) {
         out.push_str(&row(
             label,
             &[
-                (
-                    "speedup",
-                    fx(base.run.cycles as f64 / tako.run.cycles as f64),
-                ),
-                ("base_cycles", base.run.cycles.to_string()),
-                ("tako_cycles", tako.run.cycles.to_string()),
+                ("speedup", fx(*base as f64 / *tako as f64)),
+                ("base_cycles", base.to_string()),
+                ("tako_cycles", tako.to_string()),
             ],
         ));
     }
@@ -482,34 +527,39 @@ pub fn fig25_scalability(opts: Opts) -> String {
     let mut out = String::from(
         "# Fig 25: PHI speedup vs update batching across cores & graph sizes\n",
     );
+    let mut points: Vec<(usize, usize)> = Vec::new();
     for &tiles in &[8usize, 16, 36] {
         for &scale in &[1usize, 2] {
-            let params = phi::Params {
-                vertices: opts.sized(256 * 1024 * scale),
-                edges: opts.sized((1 << 20) * scale),
-                theta: 0.6,
-                threads: tiles,
-                threshold: 3,
-                seed: opts.seed,
-            };
-            let cfg = SystemConfig::with_tiles(tiles);
-            let sw = phi::run(phi::Variant::Software, &params, &cfg);
-            let ub = phi::run(phi::Variant::UpdateBatching, &params, &cfg);
-            let tako = phi::run(phi::Variant::Tako, &params, &cfg);
-            out.push_str(&row(
-                &format!("{tiles}c/{}Ke", params.edges >> 10),
-                &[
-                    (
-                        "tako_vs_sw",
-                        fx(sw.run.cycles as f64 / tako.run.cycles as f64),
-                    ),
-                    (
-                        "tako_vs_ub",
-                        fx(ub.run.cycles as f64 / tako.run.cycles as f64),
-                    ),
-                ],
-            ));
+            points.push((tiles, scale));
         }
+    }
+    let results = run_variants(opts, &points, |(tiles, scale)| {
+        let params = phi::Params {
+            vertices: opts.sized(256 * 1024 * scale),
+            edges: opts.sized((1 << 20) * scale),
+            theta: 0.6,
+            threads: tiles,
+            threshold: 3,
+            seed: opts.seed,
+        };
+        let cfg = SystemConfig::with_tiles(tiles);
+        let sw = phi::run(phi::Variant::Software, &params, &cfg);
+        let ub = phi::run(phi::Variant::UpdateBatching, &params, &cfg);
+        let tako = phi::run(phi::Variant::Tako, &params, &cfg);
+        (
+            params.edges,
+            sw.run.cycles as f64 / tako.run.cycles as f64,
+            ub.run.cycles as f64 / tako.run.cycles as f64,
+        )
+    });
+    for ((tiles, _), (edges, vs_sw, vs_ub)) in points.iter().zip(&results) {
+        out.push_str(&row(
+            &format!("{tiles}c/{}Ke", edges >> 10),
+            &[
+                ("tako_vs_sw", fx(*vs_sw)),
+                ("tako_vs_ub", fx(*vs_ub)),
+            ],
+        ));
     }
     out
 }
@@ -541,12 +591,15 @@ pub fn sens_callback_buffer(opts: Opts) -> String {
         params,
         &SystemConfig::default_16core(),
     );
-    for entries in [1u32, 2, 4, 8, 16, 64] {
+    let entries: [u32; 6] = [1, 2, 4, 8, 16, 64];
+    let results = run_variants(opts, &entries, |n| {
         let mut cfg = SystemConfig::default_16core();
-        cfg.engine.callback_buffer = entries;
-        let r = nvm::run(nvm::Variant::Tako, params, &cfg);
+        cfg.engine.callback_buffer = n;
+        nvm::run(nvm::Variant::Tako, params, &cfg)
+    });
+    for (n, r) in entries.iter().zip(&results) {
         out.push_str(&row(
-            &format!("{entries}-entry"),
+            &format!("{n}-entry"),
             &[(
                 "speedup",
                 fx(base.run.cycles as f64 / r.run.cycles as f64),
@@ -563,16 +616,16 @@ pub fn sens_rtlb(opts: Opts) -> String {
     params.vertices = opts.sized(128 * 1024);
     params.edges = opts.sized(1 << 20);
     params.communities = opts.sized(512);
-    let mut reference = 0u64;
-    for entries in [64u32, 256, 1024] {
+    let entries: [u32; 3] = [64, 256, 1024];
+    let results = run_variants(opts, &entries, |n| {
         let mut cfg = hats_cfg();
-        cfg.engine.rtlb_entries = entries;
-        let r = hats::run(hats::Variant::Tako, &params, &cfg);
-        if reference == 0 {
-            reference = r.run.cycles;
-        }
+        cfg.engine.rtlb_entries = n;
+        hats::run(hats::Variant::Tako, &params, &cfg)
+    });
+    let reference = results[0].run.cycles;
+    for (n, r) in entries.iter().zip(&results) {
         out.push_str(&row(
-            &format!("{entries}-entry"),
+            &format!("{n}-entry"),
             &[
                 ("cycles", r.run.cycles.to_string()),
                 (
@@ -614,18 +667,23 @@ pub fn ablations(opts: Opts) -> String {
     let cfg = SystemConfig::default_16core();
     let mut no_trrip_cfg = cfg.clone();
     no_trrip_cfg.engine.trrip = false;
-    let aos = soa::run(soa::Variant::Aos, sp, &cfg);
-    for (label, v, c) in [
-        ("aos-baseline", soa::Variant::Aos, &cfg),
-        ("tako-trrip", soa::Variant::Tako, &cfg),
-        ("tako-no-trrip", soa::Variant::Tako, &no_trrip_cfg),
-    ] {
-        let r = soa::run(v, sp, c);
+    let soa_points = [
+        ("aos-baseline", soa::Variant::Aos, false),
+        ("tako-trrip", soa::Variant::Tako, false),
+        ("tako-no-trrip", soa::Variant::Tako, true),
+    ];
+    let soa_results =
+        run_variants(opts, &soa_points, |(_, v, no_trrip)| {
+            let c = if no_trrip { &no_trrip_cfg } else { &cfg };
+            soa::run(v, sp, c)
+        });
+    let aos_cycles = soa_results[0].run.cycles;
+    for ((label, _, _), r) in soa_points.iter().zip(&soa_results) {
         assert_eq!(r.sum, r.expected);
         out.push_str(&row(
             label,
             &[
-                ("speedup", fx(aos.run.cycles as f64 / r.run.cycles as f64)),
+                ("speedup", fx(aos_cycles as f64 / r.run.cycles as f64)),
                 ("dram", r.run.dram_accesses().to_string()),
             ],
         ));
@@ -643,8 +701,11 @@ pub fn ablations(opts: Opts) -> String {
         c.prefetch.enabled = false;
         c
     };
-    let tako = hats::run(hats::Variant::Tako, &hp, &cfg);
-    let coupled = hats::run(hats::Variant::Tako, &hp, &coupled_cfg);
+    let hats_results = run_variants(opts, &[false, true], |coupled| {
+        let c = if coupled { &coupled_cfg } else { &cfg };
+        hats::run(hats::Variant::Tako, &hp, c)
+    });
+    let (tako, coupled) = (&hats_results[0], &hats_results[1]);
     out.push_str(&row(
         "with-prefetch",
         &[("cycles", tako.run.cycles.to_string())],

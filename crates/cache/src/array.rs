@@ -111,7 +111,13 @@ pub struct CacheArray {
     cfg: CacheConfig,
     sets: usize,
     ways: usize,
-    index_shift: u32,
+    /// Precomputed right-shift from an address to its set-index bits:
+    /// the line-offset bits plus any bank-select bits (`index_shift`).
+    set_shift: u32,
+    /// `sets - 1` when `sets` is a power of two (the common geometry);
+    /// set selection is then a single mask instead of a modulo.
+    set_mask: u64,
+    pow2_sets: bool,
     entries: Vec<TagEntry>,
     stamp: u64,
 }
@@ -133,7 +139,9 @@ impl CacheArray {
             cfg,
             sets,
             ways,
-            index_shift,
+            set_shift: LINE_BYTES.trailing_zeros() + index_shift,
+            set_mask: sets as u64 - 1,
+            pow2_sets: sets.is_power_of_two(),
             entries: vec![TagEntry::invalid(); sets * ways],
             stamp: 0,
         }
@@ -144,9 +152,14 @@ impl CacheArray {
         &self.cfg
     }
 
-    #[inline]
+    #[inline(always)]
     fn set_of(&self, line: Addr) -> usize {
-        (((line / LINE_BYTES) >> self.index_shift) % self.sets as u64) as usize
+        let idx = line >> self.set_shift;
+        if self.pow2_sets {
+            (idx & self.set_mask) as usize
+        } else {
+            (idx % self.sets as u64) as usize
+        }
     }
 
     #[inline]
@@ -160,12 +173,14 @@ impl CacheArray {
     }
 
     /// Find `line` in the array.
+    #[inline]
     pub fn probe(&self, line: Addr) -> Option<&TagEntry> {
         let set = self.set_of(line);
         self.set_slice(set).iter().find(|e| e.valid && e.line == line)
     }
 
     /// Find `line` in the array, mutably.
+    #[inline]
     pub fn probe_mut(&mut self, line: Addr) -> Option<&mut TagEntry> {
         let set = self.set_of(line);
         self.set_slice_mut(set)
@@ -173,19 +188,36 @@ impl CacheArray {
             .find(|e| e.valid && e.line == line)
     }
 
-    /// Record a hit on `line`: promote it per the replacement policy and
-    /// clear its prefetched flag. Returns false if the line is absent.
-    pub fn touch(&mut self, line: Addr) -> bool {
+    /// The per-access hit path: find `line` and, if present, promote it
+    /// per the replacement policy in the same walk, returning the
+    /// promoted entry so callers can read/update state bits (dirty,
+    /// sharers, prefetched) without a second tag walk. Performs no heap
+    /// allocation. Callers that consume the prefetched flag clear it via
+    /// the returned entry; [`CacheArray::touch`] does both.
+    #[inline]
+    pub fn lookup(&mut self, line: Addr) -> Option<&mut TagEntry> {
         self.stamp += 1;
         let stamp = self.stamp;
         let repl = self.cfg.repl;
-        match self.probe_mut(line) {
+        let set = self.set_of(line);
+        let e = self
+            .set_slice_mut(set)
+            .iter_mut()
+            .find(|e| e.valid && e.line == line)?;
+        match repl {
+            ReplPolicy::Lru => e.lru_stamp = stamp,
+            ReplPolicy::Rrip | ReplPolicy::Trrip => e.rrpv = 0,
+        }
+        Some(e)
+    }
+
+    /// Record a hit on `line`: promote it per the replacement policy and
+    /// clear its prefetched flag. Returns false if the line is absent.
+    #[inline]
+    pub fn touch(&mut self, line: Addr) -> bool {
+        match self.lookup(line) {
             Some(e) => {
                 e.prefetched = false;
-                match repl {
-                    ReplPolicy::Lru => e.lru_stamp = stamp,
-                    ReplPolicy::Rrip | ReplPolicy::Trrip => e.rrpv = 0,
-                }
                 true
             }
             None => false,
@@ -196,56 +228,78 @@ impl CacheArray {
     /// `inserting_morph`. Prefers invalid ways; otherwise follows the
     /// replacement policy; under trrîp, refuses to evict the set's last
     /// callback-free line when the incoming line has a Morph.
+    ///
+    /// Runs as a single pass over the set that gathers every candidate
+    /// the policies need (first invalid way, LRU way, first max-RRPV
+    /// way, callback-free population, most-distant Morph line); only
+    /// RRIP aging revisits the set, and at most once.
     fn victim(&mut self, set: usize, inserting_morph: bool) -> usize {
-        // trrîp deadlock avoidance (Sec 5.2): a Morph line may never
-        // consume the set's last callback-free way (invalid or plain).
-        if self.cfg.repl == ReplPolicy::Trrip && inserting_morph {
-            let s = self.set_slice(set);
-            let callback_free =
-                s.iter().filter(|e| !e.valid || !e.morph).count();
-            if callback_free <= 1 {
-                if let Some(w) = s
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.valid && e.morph)
-                    .max_by_key(|(_, e)| (e.rrpv, u64::MAX - e.lru_stamp))
-                    .map(|(w, _)| w)
-                {
-                    return w;
+        let repl = self.cfg.repl;
+        let mut invalid = None;
+        let mut lru_way = 0usize;
+        let mut lru_min = u64::MAX;
+        let mut rrpv_way = 0usize;
+        let mut rrpv_max = 0u8;
+        let mut callback_free = 0usize;
+        let mut morph_way = None;
+        let mut morph_key = (0u8, 0u64);
+        for (w, e) in self.set_slice(set).iter().enumerate() {
+            if !e.valid {
+                if invalid.is_none() {
+                    invalid = Some(w);
+                }
+                callback_free += 1;
+                continue;
+            }
+            if e.lru_stamp < lru_min {
+                lru_min = e.lru_stamp;
+                lru_way = w;
+            }
+            if e.rrpv > rrpv_max {
+                rrpv_max = e.rrpv;
+                rrpv_way = w;
+            }
+            if !e.morph {
+                callback_free += 1;
+            } else {
+                let key = (e.rrpv, u64::MAX - e.lru_stamp);
+                if morph_way.is_none() || key > morph_key {
+                    morph_way = Some(w);
+                    morph_key = key;
                 }
             }
         }
-        if let Some(w) = self.set_slice(set).iter().position(|e| !e.valid) {
+        // trrîp deadlock avoidance (Sec 5.2): a Morph line may never
+        // consume the set's last callback-free way (invalid or plain).
+        if repl == ReplPolicy::Trrip && inserting_morph && callback_free <= 1
+        {
+            if let Some(w) = morph_way {
+                return w;
+            }
+        }
+        if let Some(w) = invalid {
             return w;
         }
-        let repl = self.cfg.repl;
-        let way = match repl {
-            ReplPolicy::Lru => self
-                .set_slice(set)
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru_stamp)
-                .map(|(w, _)| w)
-                .expect("set has ways"),
-            ReplPolicy::Rrip | ReplPolicy::Trrip => loop {
-                if let Some(w) = self
-                    .set_slice(set)
-                    .iter()
-                    .position(|e| e.rrpv >= RRPV_MAX)
-                {
-                    break w;
+        match repl {
+            ReplPolicy::Lru => lru_way,
+            ReplPolicy::Rrip | ReplPolicy::Trrip => {
+                // SRRIP aging, batched: instead of repeated +1 sweeps
+                // until some line reaches RRPV_MAX, add the deficit once.
+                let age = RRPV_MAX - rrpv_max;
+                if age > 0 {
+                    for e in self.set_slice_mut(set) {
+                        e.rrpv += age;
+                    }
                 }
-                for e in self.set_slice_mut(set) {
-                    e.rrpv += 1;
-                }
-            },
-        };
-        way
+                rrpv_way
+            }
+        }
     }
 
     /// Insert `line`, returning the evicted line if a valid one was
     /// displaced. `ready_at` is when the fill (or the callback holding the
     /// line locked) completes.
+    #[inline]
     pub fn insert(
         &mut self,
         line: Addr,
@@ -294,6 +348,7 @@ impl CacheArray {
     }
 
     /// Remove `line` if present, returning its eviction record.
+    #[inline]
     pub fn invalidate(&mut self, line: Addr) -> Option<EvictedLine> {
         let set = self.set_of(line);
         let e = self
@@ -347,7 +402,7 @@ impl CacheArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tako_sim::rng::Rng;
 
     fn tiny(repl: ReplPolicy) -> CacheArray {
         // 4 sets x 2 ways.
@@ -457,38 +512,54 @@ mod tests {
         assert_eq!(got, vec![0, 64]);
     }
 
-    proptest! {
-        #[test]
-        fn occupancy_never_exceeds_capacity(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+    // Deterministic randomized tests (the in-tree Rng replaces proptest,
+    // which the offline build cannot fetch).
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut rng = Rng::new(0x0CC1);
+        for _ in 0..64 {
             let mut a = tiny(ReplPolicy::Trrip);
-            for (k, morph) in ops {
-                let addr = k * LINE_BYTES;
+            for _ in 0..200 {
+                let addr = rng.below(64) * LINE_BYTES;
+                let morph = rng.chance(0.5);
                 if a.probe(addr).is_some() {
                     a.touch(addr);
                 } else {
                     a.insert(addr, false, morph, InsertKind::Demand, 0);
                 }
-                prop_assert!(a.occupancy() <= 8);
+                assert!(a.occupancy() <= 8);
             }
         }
+    }
 
-        #[test]
-        fn trrip_morph_invariant(ops in proptest::collection::vec((0u64..32, any::<bool>(), any::<bool>()), 1..300)) {
+    #[test]
+    fn trrip_morph_invariant() {
+        let mut rng = Rng::new(0x7A11);
+        for _ in 0..64 {
             let mut a = tiny(ReplPolicy::Trrip);
-            for (k, morph, engine) in ops {
-                let addr = k * LINE_BYTES;
+            for _ in 0..300 {
+                let addr = rng.below(32) * LINE_BYTES;
+                let morph = rng.chance(0.5);
+                let engine = rng.chance(0.5);
                 if a.probe(addr).is_none() {
-                    let kind = if engine { InsertKind::Engine } else { InsertKind::Demand };
+                    let kind = if engine {
+                        InsertKind::Engine
+                    } else {
+                        InsertKind::Demand
+                    };
                     a.insert(addr, false, morph, kind, 0);
                 } else {
                     a.touch(addr);
                 }
-                prop_assert!(a.morph_invariant_holds());
+                assert!(a.morph_invariant_holds());
             }
         }
+    }
 
-        #[test]
-        fn dirty_state_survives_until_eviction(k in 0u64..16) {
+    #[test]
+    fn dirty_state_survives_until_eviction() {
+        for k in 0u64..16 {
             let mut a = tiny(ReplPolicy::Lru);
             let addr = k * LINE_BYTES;
             let set = k % 4;
@@ -501,17 +572,19 @@ mod tests {
                 if a.probe(other).is_some() {
                     continue;
                 }
-                if let Some(ev) = a.insert(other, false, false, InsertKind::Demand, 0) {
+                if let Some(ev) =
+                    a.insert(other, false, false, InsertKind::Demand, 0)
+                {
                     if ev.line == addr {
-                        prop_assert!(ev.dirty);
+                        assert!(ev.dirty);
                         seen_dirty = true;
                     }
                 }
             }
             if let Some(e) = a.probe(addr) {
-                prop_assert!(e.dirty);
+                assert!(e.dirty);
             } else {
-                prop_assert!(seen_dirty);
+                assert!(seen_dirty);
             }
         }
     }

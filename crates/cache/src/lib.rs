@@ -24,4 +24,4 @@ pub mod prefetch;
 
 pub use array::{CacheArray, EvictedLine, InsertKind, TagEntry};
 pub use mshr::MshrFile;
-pub use prefetch::StridePrefetcher;
+pub use prefetch::{PrefetchBatch, StridePrefetcher};

@@ -17,6 +17,47 @@ use tako_sim::config::{PrefetchConfig, LINE_BYTES};
 const REGION_BITS: u32 = 12;
 const TABLE_SLOTS: usize = 16;
 
+/// Upper bound on prefetches emitted per observation. Configured degrees
+/// above this are clamped (the paper's prefetcher uses degree 4).
+pub const MAX_PREFETCH: usize = 8;
+
+/// A fixed-capacity batch of prefetch line addresses, returned by value
+/// so the per-access hot path ([`StridePrefetcher::observe`]) performs
+/// no heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchBatch {
+    addrs: [Addr; MAX_PREFETCH],
+    len: u8,
+}
+
+impl PrefetchBatch {
+    #[inline]
+    fn push(&mut self, addr: Addr) {
+        if (self.len as usize) < MAX_PREFETCH {
+            self.addrs[self.len as usize] = addr;
+            self.len += 1;
+        }
+    }
+
+    /// The batched addresses, in issue order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.addrs[..self.len as usize]
+    }
+
+    /// Number of addresses in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the observation produced no prefetches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Stream {
     region: u64,
@@ -45,10 +86,13 @@ impl StridePrefetcher {
     }
 
     /// Observe a demand access and return the line addresses to prefetch
-    /// (empty if disabled, untrained, or stride zero).
-    pub fn observe(&mut self, addr: Addr) -> Vec<Addr> {
+    /// (empty if disabled, untrained, or stride zero). Allocation-free:
+    /// the batch is a fixed-size value (degree clamped to
+    /// [`MAX_PREFETCH`]).
+    pub fn observe(&mut self, addr: Addr) -> PrefetchBatch {
+        let mut batch = PrefetchBatch::default();
         if !self.cfg.enabled {
-            return Vec::new();
+            return batch;
         }
         self.clock += 1;
         let line = line_of(addr);
@@ -60,7 +104,7 @@ impl StridePrefetcher {
             s.lru = clock;
             let stride = line as i64 - s.last_line as i64;
             if stride == 0 {
-                return Vec::new();
+                return batch;
             }
             if stride == s.stride {
                 s.confidence += 1;
@@ -71,13 +115,13 @@ impl StridePrefetcher {
             s.last_line = line;
             if s.confidence >= cfg.train_threshold {
                 let stride = s.stride;
-                return (1..=cfg.degree as i64)
-                    .filter_map(|k| {
-                        line.checked_add_signed(stride * k).map(line_of)
-                    })
-                    .collect();
+                for k in 1..=cfg.degree.min(MAX_PREFETCH as u32) as i64 {
+                    if let Some(a) = line.checked_add_signed(stride * k) {
+                        batch.push(line_of(a));
+                    }
+                }
             }
-            return Vec::new();
+            return batch;
         }
 
         // Allocate a new stream, evicting the LRU slot if full.
@@ -95,7 +139,7 @@ impl StridePrefetcher {
         {
             *victim = s;
         }
-        Vec::new()
+        batch
     }
 
     /// Forget all trained streams (e.g., on a Morph flush).
@@ -118,7 +162,7 @@ mod tests {
         assert!(p.observe(0).is_empty());
         assert!(p.observe(64).is_empty()); // confidence 1
         let out = p.observe(128); // confidence 2 == threshold
-        assert_eq!(out, vec![192, 256, 320, 384]);
+        assert_eq!(out.as_slice(), [192, 256, 320, 384]);
     }
 
     #[test]
@@ -127,7 +171,7 @@ mod tests {
         p.observe(1024);
         p.observe(960);
         let out = p.observe(896);
-        assert_eq!(out, vec![832, 768, 704, 640]);
+        assert_eq!(out.as_slice(), [832, 768, 704, 640]);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Micro-benchmark guard: the per-access tag-array hot path must not
+//! allocate. A counting global allocator wraps the system allocator;
+//! each assertion exercises an entry point on a pre-built array and
+//! checks the allocation count did not move.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use tako_cache::{CacheArray, InsertKind, StridePrefetcher};
+use tako_sim::config::{CacheConfig, PrefetchConfig, ReplPolicy, LINE_BYTES};
+
+struct CountingAlloc;
+
+// Per-thread so concurrently running tests don't see each other's
+// allocations. Const-initialized: reading it never allocates.
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(
+        &self,
+        ptr: *mut u8,
+        layout: Layout,
+        new_size: usize,
+    ) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Run `f` and return how many heap allocations this thread performed.
+fn allocs_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+fn array(repl: ReplPolicy) -> CacheArray {
+    CacheArray::new(CacheConfig {
+        size_bytes: 64 * 1024,
+        ways: 8,
+        tag_latency: 2,
+        data_latency: 3,
+        repl,
+    })
+}
+
+#[test]
+fn hot_path_is_allocation_free() {
+    for repl in [ReplPolicy::Lru, ReplPolicy::Rrip, ReplPolicy::Trrip] {
+        let mut a = array(repl);
+        // Warm the array past capacity so inserts evict.
+        for k in 0..2048u64 {
+            let line = k * LINE_BYTES;
+            if a.probe(line).is_none() {
+                a.insert(line, k % 3 == 0, k % 5 == 0, InsertKind::Demand, 0);
+            }
+        }
+        let n = allocs_in(|| {
+            for k in 0..4096u64 {
+                let line = (k % 3072) * LINE_BYTES;
+                if a.lookup(line).is_none() {
+                    a.insert(
+                        line,
+                        k % 2 == 0,
+                        k % 7 == 0,
+                        InsertKind::Demand,
+                        k,
+                    );
+                }
+                a.probe(line);
+                a.probe_mut(line);
+                a.touch(line);
+            }
+            a.invalidate(123 * LINE_BYTES);
+        });
+        assert_eq!(n, 0, "hot path allocated under {repl:?}");
+    }
+}
+
+#[test]
+fn prefetcher_observe_is_allocation_free() {
+    let mut p = StridePrefetcher::new(PrefetchConfig::default());
+    // Train every region the loop below revisits (stream-table churn in
+    // the steady state reuses existing slots).
+    for k in 0..64u64 {
+        p.observe(k * LINE_BYTES);
+    }
+    let n = allocs_in(|| {
+        for k in 64..4096u64 {
+            let batch = p.observe(k * LINE_BYTES);
+            assert!(batch.len() <= 8);
+        }
+    });
+    assert_eq!(n, 0, "StridePrefetcher::observe allocated");
+}

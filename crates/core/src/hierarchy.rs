@@ -272,7 +272,11 @@ impl Hierarchy {
             t + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
         t = self.bank_start(bank, t) + self.cfg.llc_bank.tag_latency;
 
-        let probe = self.llc[bank].probe(line).map(|e| {
+        // lookup (not probe) so a hit is found and promoted in one walk;
+        // the field updates below re-probe only on the paths that need
+        // coherence work in between.
+        let probe = self.llc[bank].lookup(line).map(|e| {
+            e.prefetched = false;
             (e.ready_at, e.owner, e.sharers, e.morph)
         });
         let exclusive;
@@ -352,7 +356,6 @@ impl Hierarchy {
                     exclusive = e.sharers & !(1u64 << tile) == 0
                         && e.owner.is_none();
                 }
-                self.llc[bank].touch(line);
                 t += self.cfg.llc_bank.data_latency;
             }
             None => {
@@ -672,9 +675,15 @@ impl Hierarchy {
         let mut t = t
             + self.mesh.transfer(tile, bank, Payload::Control, &mut self.stats);
         t = self.bank_start(bank, t) + self.cfg.llc_bank.tag_latency;
-        let present = self.llc[bank]
-            .probe(line)
-            .map(|e| (e.ready_at, e.sharers));
+        // Single-pass hit: promote, read the old sharer set, and apply
+        // the RMO's unconditional state updates in one tag walk.
+        let present = self.llc[bank].lookup(line).map(|e| {
+            let sharers = e.sharers;
+            e.prefetched = false;
+            e.dirty = true;
+            e.sharers = 0;
+            (e.ready_at, sharers)
+        });
         match present {
             Some((ready_at, sharers)) => {
                 self.stats.bump(Counter::LlcHit);
@@ -684,10 +693,6 @@ impl Hierarchy {
                     self.tiles[s].l1d.invalidate(line);
                     self.tiles[s].l2.invalidate(line);
                 }
-                let e = self.llc[bank].probe_mut(line).expect("probed");
-                e.dirty = true;
-                e.sharers = 0;
-                self.llc[bank].touch(line);
                 t += self.cfg.llc_bank.data_latency;
             }
             None => {
@@ -800,14 +805,16 @@ impl Hierarchy {
         let l2_cfg = self.cfg.l2;
 
         // ---- L1d ----
-        if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
+        // Single-pass hit: lookup promotes and returns the entry, so the
+        // dirty update needs no second tag walk.
+        if let Some(e) = self.tiles[tile].l1d.lookup(line) {
             self.stats.bump(Counter::L1dHit);
             let mut done =
                 (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(e.ready_at);
+            e.prefetched = false;
             if write {
                 e.dirty = true;
             }
-            self.tiles[tile].l1d.touch(line);
             if write {
                 let needs_upgrade = self.tiles[tile]
                     .l2
@@ -831,9 +838,20 @@ impl Hierarchy {
         let t1 = t + l1_cfg.tag_latency;
 
         // ---- L2 ----
-        let l2_probe = self.tiles[tile].l2.probe(line).map(|e| {
-            (e.ready_at, e.exclusive, e.prefetched)
-        });
+        // Non-temporal hits do not promote (scans stay cold), so only the
+        // demand path takes the promoting single-pass lookup.
+        let l2_probe = if stream {
+            self.tiles[tile]
+                .l2
+                .probe(line)
+                .map(|e| (e.ready_at, e.exclusive, e.prefetched))
+        } else {
+            self.tiles[tile].l2.lookup(line).map(|e| {
+                let prefetched = e.prefetched;
+                e.prefetched = false;
+                (e.ready_at, e.exclusive, prefetched)
+            })
+        };
         let done = match l2_probe {
             Some((ready_at, exclusive, prefetched)) => {
                 self.stats.bump(Counter::L2Hit);
@@ -845,16 +863,10 @@ impl Hierarchy {
                 if write && !exclusive && !is_phantom(line) {
                     done = self.upgrade(tile, line, done);
                 }
-                {
+                if write {
                     let e = self.tiles[tile].l2.probe_mut(line).expect("hit");
-                    if write {
-                        e.dirty = true;
-                        e.exclusive = true;
-                    }
-                }
-                if !stream {
-                    // Non-temporal hits do not promote: scans stay cold.
-                    self.tiles[tile].l2.touch(line);
+                    e.dirty = true;
+                    e.exclusive = true;
                 }
                 self.fill_l1(tile, line, write, done);
                 done
@@ -935,8 +947,8 @@ impl Hierarchy {
 
         // ---- prefetcher (trains on L2 accesses; NT scans bypass it) ----
         if !stream {
-            let pf: Vec<Addr> = self.tiles[tile].prefetcher.observe(addr);
-            for p in pf {
+            let pf = self.tiles[tile].prefetcher.observe(addr);
+            for &p in pf.as_slice() {
                 self.issue_prefetch(tile, p, t1);
             }
         }
@@ -965,21 +977,20 @@ impl Hierarchy {
         match level {
             MorphLevel::Private => {
                 let l2_cfg = self.cfg.l2;
-                let hit = self.tiles[tile].l2.probe(line).map(|e| e.ready_at);
+                // Single-pass hit: promote and update state in one walk.
+                let hit = self.tiles[tile].l2.lookup(line).map(|e| {
+                    e.prefetched = false;
+                    if write {
+                        e.dirty = true;
+                    }
+                    e.ready_at
+                });
                 match hit {
                     Some(ready_at) => {
                         self.stats.bump(Counter::L2Hit);
                         let done = (t + l2_cfg.tag_latency
                             + l2_cfg.data_latency)
                             .max(ready_at);
-                        if write {
-                            let e = self.tiles[tile]
-                                .l2
-                                .probe_mut(line)
-                                .expect("hit");
-                            e.dirty = true;
-                        }
-                        self.tiles[tile].l2.touch(line);
                         done
                     }
                     None => {

@@ -429,8 +429,8 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
     use tako_sim::config::{EngineConfig, EngineKind};
+    use tako_sim::rng::Rng;
 
     /// A randomized op program: each step either fires an ALU op over a
     /// random subset of previous values or a memory op with a random
@@ -474,47 +474,62 @@ mod proptests {
         (produced, trace.finish())
     }
 
-    proptest! {
-        #[test]
-        fn fire_times_respect_dependences(
-            kind_sel in 0u8..3,
-            pe_latency in 1u64..8,
-            ops in proptest::collection::vec(
-                (any::<bool>(), any::<u8>(), 0u64..200), 1..40),
-        ) {
-            let kind = match kind_sel {
+    // Deterministic randomized tests (the in-tree Rng replaces proptest,
+    // which the offline build cannot fetch).
+
+    fn random_ops(rng: &mut Rng, max_len: u64, max_lat: u64) -> Vec<(bool, u8, u64)> {
+        let n = 1 + rng.below(max_len) as usize;
+        (0..n)
+            .map(|_| {
+                (
+                    rng.chance(0.5),
+                    rng.next_u64() as u8,
+                    rng.below(max_lat),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fire_times_respect_dependences() {
+        let mut rng = Rng::new(0xF1BE);
+        for trial in 0..96 {
+            let kind = match trial % 3 {
                 0 => EngineKind::Dataflow,
                 1 => EngineKind::InOrderCore,
                 _ => EngineKind::Ideal,
             };
+            let pe_latency = 1 + rng.below(7);
+            let ops = random_ops(&mut rng, 39, 200);
             let (produced, result) = run_program(kind, pe_latency, &ops);
             for (v, deps) in &produced {
                 for &j in deps {
-                    prop_assert!(
+                    assert!(
                         v.ready() >= produced[j].0.ready(),
                         "value ready before its dependence"
                     );
                 }
-                prop_assert!(v.ready() >= 1000, "before callback start");
-                prop_assert!(result.completion >= v.ready());
+                assert!(v.ready() >= 1000, "before callback start");
+                assert!(result.completion >= v.ready());
             }
-            prop_assert_eq!(result.instrs, ops.len() as u64);
-            prop_assert_eq!(
+            assert_eq!(result.instrs, ops.len() as u64);
+            assert_eq!(
                 result.mem_ops,
                 ops.iter().filter(|o| o.0).count() as u64
             );
         }
+    }
 
-        #[test]
-        fn in_order_is_never_faster_than_dataflow(
-            ops in proptest::collection::vec(
-                (any::<bool>(), any::<u8>(), 0u64..100), 1..30),
-        ) {
+    #[test]
+    fn in_order_is_never_faster_than_dataflow() {
+        let mut rng = Rng::new(0x10DF);
+        for _ in 0..64 {
+            let ops = random_ops(&mut rng, 29, 100);
             let (_, df) = run_program(EngineKind::Dataflow, 1, &ops);
             let (_, io) = run_program(EngineKind::InOrderCore, 1, &ops);
             let (_, ideal) = run_program(EngineKind::Ideal, 1, &ops);
-            prop_assert!(io.completion >= df.completion);
-            prop_assert!(df.completion >= ideal.completion);
+            assert!(io.completion >= df.completion);
+            assert!(df.completion >= ideal.completion);
         }
     }
 }

@@ -141,7 +141,7 @@ impl PhysMem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use tako_sim::rng::Rng;
 
     #[test]
     fn zero_fill_semantics() {
@@ -185,23 +185,38 @@ mod tests {
         assert_eq!(mem.read_f64(0), 4.0);
     }
 
-    proptest! {
-        #[test]
-        fn bytes_roundtrip(addr in 0u64..100_000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
+    // Deterministic randomized tests (the in-tree Rng replaces proptest,
+    // which the offline build cannot fetch).
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = Rng::new(0xB17E);
+        for _ in 0..128 {
+            let addr = rng.below(100_000);
+            let len = 1 + rng.below(511) as usize;
+            let data: Vec<u8> =
+                (0..len).map(|_| rng.next_u64() as u8).collect();
             let mut mem = PhysMem::new();
             mem.write_bytes(addr, &data);
             let mut back = vec![0u8; data.len()];
             mem.read_bytes(addr, &mut back);
-            prop_assert_eq!(back, data);
+            assert_eq!(back, data);
         }
+    }
 
-        #[test]
-        fn disjoint_writes_independent(a in 0u64..10_000, b in 20_000u64..30_000, x in any::<u64>(), y in any::<u64>()) {
+    #[test]
+    fn disjoint_writes_independent() {
+        let mut rng = Rng::new(0xD15);
+        for _ in 0..128 {
+            let a = rng.below(10_000);
+            let b = 20_000 + rng.below(10_000);
+            let x = rng.next_u64();
+            let y = rng.next_u64();
             let mut mem = PhysMem::new();
             mem.write_u64(a, x);
             mem.write_u64(b, y);
-            prop_assert_eq!(mem.read_u64(a), x);
-            prop_assert_eq!(mem.read_u64(b), y);
+            assert_eq!(mem.read_u64(a), x);
+            assert_eq!(mem.read_u64(b), y);
         }
     }
 }

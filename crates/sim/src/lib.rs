@@ -15,6 +15,9 @@
 //! * [`rng`] — a tiny deterministic SplitMix64/xoshiro256** implementation
 //!   so every experiment is reproducible bit-for-bit without depending on
 //!   `rand`'s version-dependent streams.
+//! * [`parallel`] — a std-only fork-join worker pool with deterministic,
+//!   input-ordered result collection, used by the benchmark harnesses to
+//!   fan independent simulations across cores.
 //!
 //! Time is measured in [`Cycle`]s (2.4 GHz in the default configuration).
 //!
@@ -34,6 +37,7 @@
 
 pub mod config;
 pub mod energy;
+pub mod parallel;
 pub mod rng;
 pub mod stats;
 

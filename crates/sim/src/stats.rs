@@ -302,6 +302,15 @@ impl Stats {
         self.get(Counter::CoreInstr) + self.get(Counter::EngineInstr)
     }
 
+    /// Total simulated memory accesses: core L1d accesses plus memory
+    /// operations issued by engines. This is the work metric the
+    /// benchmark harness reports as accesses/sec.
+    pub fn memory_accesses(&self) -> u64 {
+        self.get(Counter::L1dHit)
+            + self.get(Counter::L1dMiss)
+            + self.get(Counter::EngineMemOp)
+    }
+
     /// Pretty-print all non-zero counters, one per line.
     pub fn report(&self) -> String {
         let mut out = String::new();
@@ -319,6 +328,29 @@ impl Default for Stats {
     fn default() -> Self {
         Self::new()
     }
+}
+
+// ----------------------------------------------------------------------
+// Process-wide throughput tally
+// ----------------------------------------------------------------------
+
+/// Simulated memory accesses recorded across every run in this process
+/// (all worker threads). Fed by [`record_simulated_accesses`]; the
+/// benchmark harness divides it by wall-clock time for its
+/// accesses-per-second figure.
+static SIMULATED_ACCESSES: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
+
+/// Add `n` simulated accesses to the process-wide tally. Called once
+/// per finished simulation run (not per access), so the atomic is off
+/// the hot path.
+pub fn record_simulated_accesses(n: u64) {
+    SIMULATED_ACCESSES.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The process-wide simulated-access tally.
+pub fn simulated_accesses() -> u64 {
+    SIMULATED_ACCESSES.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 #[cfg(test)]

@@ -19,12 +19,16 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Collect the result record from a finished system.
+    /// Collect the result record from a finished system. Also feeds the
+    /// run's access count into the process-wide throughput tally
+    /// ([`tako_sim::stats::simulated_accesses`]).
     pub fn collect(sys: &TakoSystem, cycles: Cycle) -> Self {
+        let stats = sys.stats_view().clone();
+        tako_sim::stats::record_simulated_accesses(stats.memory_accesses());
         RunResult {
             cycles,
             energy_uj: sys.energy().total_uj(),
-            stats: sys.stats_view().clone(),
+            stats,
         }
     }
 

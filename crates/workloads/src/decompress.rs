@@ -113,9 +113,14 @@ struct DataSet {
 fn install(sys: &mut TakoSystem, p: Params) -> DataSet {
     let mut rng = Rng::new(p.seed);
     let zipf = Zipfian::new(p.values, p.theta);
-    let groups = p.values / GROUP;
+    // Ceiling division: at scaled-down sizes `values` need not be a
+    // multiple of GROUP, and the top group must still have a base. The
+    // delta array is padded to a whole group so group-granular readers
+    // (precompute, the täkō Morph) never touch a neighboring
+    // allocation; pad bytes decompress to unreferenced values.
+    let groups = p.values.div_ceil(GROUP);
     let bases = sys.alloc_real(groups * 8);
-    let deltas = sys.alloc_real(p.values);
+    let deltas = sys.alloc_real(groups * GROUP);
     let indices = sys.alloc_real(p.accesses * 4);
     // Generate compressed data.
     let mut base_vals = vec![0i64; groups as usize];
@@ -378,9 +383,12 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> DecompressRe
     match variant {
         Variant::Software => {}
         Variant::Precompute => {
-            let dst = sys.alloc_real(params.values * 8);
+            // Whole groups (see `install`): the tail group decompresses
+            // pad deltas into dst slots no access index reaches.
+            let groups = params.values.div_ceil(GROUP);
+            let dst = sys.alloc_real(groups * GROUP * 8);
             prog.pre_dst = dst.base;
-            prog.pre_groups = params.values / GROUP;
+            prog.pre_groups = groups;
             prog.mode = Mode::FromArray;
         }
         Variant::Ndc => {

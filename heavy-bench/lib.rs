@@ -1,0 +1,3 @@
+//! Empty library target; this package exists only to host the opt-in
+//! criterion benches in `benches/`. See Cargo.toml for why it is
+//! excluded from the workspace.
