@@ -7,6 +7,10 @@
 //! ```text
 //! --bench-json <path>   also write a BENCH_sim.json throughput report
 //! --bench               shorthand for --bench-json BENCH_sim.json
+//! --keep-going          isolate harness panics: finish the others,
+//!                       print a FAILURES section, exit nonzero
+//! --force-panic <name>  panic inside the named harness (tests the
+//!                       --keep-going contract)
 //! ```
 //!
 //! The printed experiment output is byte-identical for every `--jobs`
@@ -14,25 +18,49 @@
 
 use std::time::Instant;
 
-use tako_bench::{run_all, warn_unknown, Opts};
+use tako_bench::{
+    run_all, run_all_catch, validate_base_config, warn_unknown,
+    ExperimentResult, Opts,
+};
 
 /// Flags specific to this binary, parsed from the leftovers of
 /// [`Opts::parse`].
-fn parse_bench_flags(unknown: Vec<String>) -> Option<String> {
-    let mut json_path = None;
+struct BenchFlags {
+    json_path: Option<String>,
+    keep_going: bool,
+    force_panic: Option<String>,
+}
+
+fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
+    let mut flags = BenchFlags {
+        json_path: None,
+        keep_going: false,
+        force_panic: None,
+    };
     let mut rest = Vec::new();
     let mut i = 0;
     while i < unknown.len() {
         match unknown[i].as_str() {
             "--bench" => {
-                json_path.get_or_insert_with(|| "BENCH_sim.json".to_string());
+                flags
+                    .json_path
+                    .get_or_insert_with(|| "BENCH_sim.json".to_string());
             }
             "--bench-json" => {
                 if let Some(p) = unknown.get(i + 1) {
-                    json_path = Some(p.clone());
+                    flags.json_path = Some(p.clone());
                     i += 1;
                 } else {
                     eprintln!("warning: --bench-json needs a path");
+                }
+            }
+            "--keep-going" => flags.keep_going = true,
+            "--force-panic" => {
+                if let Some(n) = unknown.get(i + 1) {
+                    flags.force_panic = Some(n.clone());
+                    i += 1;
+                } else {
+                    eprintln!("warning: --force-panic needs a harness name");
                 }
             }
             other => rest.push(other.to_string()),
@@ -40,37 +68,68 @@ fn parse_bench_flags(unknown: Vec<String>) -> Option<String> {
         i += 1;
     }
     warn_unknown(&rest);
-    json_path
+    flags
 }
 
 fn main() {
+    validate_base_config();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (opts, unknown) = Opts::parse(&args);
-    let json_path = parse_bench_flags(unknown);
+    let flags = parse_bench_flags(unknown);
+    if flags.force_panic.is_some() && !flags.keep_going {
+        eprintln!("warning: --force-panic without --keep-going aborts the run");
+    }
 
     let t0 = Instant::now();
-    let results = run_all(opts);
+    let results: Vec<(&str, Result<ExperimentResult, String>)> =
+        if flags.keep_going {
+            run_all_catch(opts, flags.force_panic.as_deref())
+        } else {
+            run_all(opts)
+                .into_iter()
+                .map(|r| (r.name, Ok(r)))
+                .collect()
+        };
     let total_wall = t0.elapsed();
 
-    for r in &results {
-        println!("{}  [{} took {:.1?}]\n", r.output, r.name, r.wall);
+    let mut failures: Vec<(&str, &str)> = Vec::new();
+    let mut succeeded: Vec<&ExperimentResult> = Vec::new();
+    for (name, r) in &results {
+        match r {
+            Ok(res) => {
+                println!("{}  [{} took {:.1?}]\n", res.output, res.name, res.wall);
+                succeeded.push(res);
+            }
+            Err(msg) => failures.push((name, msg)),
+        }
+    }
+    if !failures.is_empty() {
+        println!("FAILURES:");
+        for (name, msg) in &failures {
+            println!("  {name}: {msg}");
+        }
     }
 
     let accesses = tako_sim::stats::simulated_accesses();
     let total_s = total_wall.as_secs_f64();
     eprintln!(
-        "all experiments: {total_s:.1}s wall on {} jobs, \
+        "all experiments: {}/{} ok in {total_s:.1}s wall on {} jobs, \
          {accesses} simulated accesses ({:.0}/s)",
+        succeeded.len(),
+        results.len(),
         opts.jobs,
         accesses as f64 / total_s.max(1e-9),
     );
 
-    if let Some(path) = json_path {
-        let json = bench_json(opts, total_s, accesses, &results);
+    if let Some(path) = flags.json_path {
+        let json = bench_json(opts, total_s, accesses, &succeeded);
         match std::fs::write(&path, json) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("error: writing {path}: {e}"),
         }
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -80,7 +139,7 @@ fn bench_json(
     opts: Opts,
     total_wall_s: f64,
     accesses: u64,
-    results: &[tako_bench::ExperimentResult],
+    results: &[&ExperimentResult],
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));

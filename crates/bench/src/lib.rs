@@ -27,9 +27,20 @@
 
 use std::time::{Duration, Instant};
 
-use tako_sim::parallel::{default_jobs, parallel_map};
+use tako_sim::config::SystemConfig;
+use tako_sim::parallel::{default_jobs, parallel_map, parallel_map_catch};
 
 pub mod experiments;
+
+/// Validate the base system configuration every harness builds from,
+/// exiting with a diagnostic when it cannot describe real hardware.
+/// Every bench binary calls this at startup (via [`Opts::from_args`]).
+pub fn validate_base_config() {
+    if let Err(e) = SystemConfig::default_16core().validate() {
+        eprintln!("error: invalid base configuration: {e}");
+        std::process::exit(2);
+    }
+}
 
 /// Command-line options shared by all experiment binaries.
 #[derive(Debug, Clone, Copy)]
@@ -94,8 +105,10 @@ impl Opts {
     }
 
     /// Parse from `std::env::args`, warning on stderr about any
-    /// unrecognized argument.
+    /// unrecognized argument. Also validates the base system
+    /// configuration, so a broken config fails fast in every binary.
     pub fn from_args() -> Self {
+        validate_base_config();
         let args: Vec<String> = std::env::args().skip(1).collect();
         let (opts, unknown) = Self::parse(&args);
         warn_unknown(&unknown);
@@ -190,6 +203,39 @@ pub fn run_all(opts: Opts) -> Vec<ExperimentResult> {
             }
         },
     )
+}
+
+/// Like [`run_all`], but each harness runs behind a panic guard: a
+/// panicking experiment becomes `Err(panic payload)` while every other
+/// harness still runs to completion — the `--keep-going` contract of
+/// `all_experiments`. When `force_panic` names a harness it panics on
+/// entry (the hook the keep-going integration test drives).
+pub fn run_all_catch(
+    opts: Opts,
+    force_panic: Option<&str>,
+) -> Vec<(&'static str, Result<ExperimentResult, String>)> {
+    let inner = opts.serial();
+    let results = parallel_map_catch(
+        opts.jobs,
+        EXPERIMENTS.to_vec(),
+        move |_, (name, f)| {
+            if Some(name) == force_panic {
+                panic!("forced panic in {name} (--force-panic)");
+            }
+            let t0 = Instant::now();
+            let output = f(inner);
+            ExperimentResult {
+                name,
+                output,
+                wall: t0.elapsed(),
+            }
+        },
+    );
+    EXPERIMENTS
+        .iter()
+        .zip(results)
+        .map(|((name, _), r)| (*name, r))
+        .collect()
 }
 
 /// Render one labelled row of `(label, value)` pairs.

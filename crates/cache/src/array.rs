@@ -412,6 +412,7 @@ mod tests {
             tag_latency: 1,
             data_latency: 1,
             repl,
+            mshrs: 4,
         })
     }
 

@@ -118,6 +118,23 @@ impl MshrFile {
         self.entries.values().map(|e| e.completes_at).min()
     }
 
+    /// The file's total entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether a fresh allocation would succeed right now (secondary
+    /// merges aside). Mirrors [`MshrFile::try_alloc`]'s reservation:
+    /// callback-waiting requests may not take the last free entry.
+    pub fn can_alloc(&self, for_callback: bool) -> bool {
+        let limit = if for_callback {
+            self.capacity - 1
+        } else {
+            self.capacity
+        };
+        self.entries.len() < limit
+    }
+
     /// Number of outstanding entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -176,5 +193,66 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         MshrFile::new(0);
+    }
+
+    #[test]
+    fn fill_to_capacity_then_drain_frees() {
+        let mut m = MshrFile::new(4);
+        for i in 0..4u64 {
+            assert_eq!(
+                m.try_alloc(i * 64, 100 + i, false),
+                MshrOutcome::Primary
+            );
+        }
+        assert_eq!(m.len(), m.capacity());
+        assert!(!m.can_alloc(false));
+        assert!(!m.can_alloc(true));
+        assert_eq!(m.try_alloc(1024, 200, false), MshrOutcome::Full);
+        // Retiring one fill makes room for a plain request, but the
+        // callback reservation still needs two free entries.
+        assert_eq!(m.drain(100), Some(100));
+        assert!(m.can_alloc(false));
+        assert!(!m.can_alloc(true));
+        assert_eq!(m.try_alloc(1024, 200, false), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn reservation_held_across_fills() {
+        let mut m = MshrFile::new(3);
+        // Callback-waiting requests can take all but the last entry...
+        assert_eq!(m.try_alloc(0, 50, true), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(64, 60, true), MshrOutcome::Primary);
+        assert_eq!(m.callback_entries(), 2);
+        assert_eq!(m.try_alloc(128, 70, true), MshrOutcome::Full);
+        // ...the reserved entry serves a plain miss, which can then
+        // merge secondaries even while the file is full.
+        assert_eq!(m.try_alloc(128, 70, false), MshrOutcome::Primary);
+        assert_eq!(m.try_alloc(128, 999, true), MshrOutcome::Secondary(70));
+        // As fills retire, the reservation re-opens for callbacks.
+        assert_eq!(m.drain(55), Some(50));
+        assert!(m.can_alloc(false));
+        assert!(!m.can_alloc(true));
+        assert_eq!(m.drain(70), Some(60));
+        assert!(m.can_alloc(true));
+        assert_eq!(m.try_alloc(192, 200, true), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn drain_is_leak_free() {
+        let mut m = MshrFile::new(8);
+        for round in 0..10u64 {
+            for i in 0..8u64 {
+                let addr = (round * 8 + i) * 64;
+                assert_eq!(
+                    m.try_alloc(addr, round * 100 + i, i % 2 == 0),
+                    MshrOutcome::Primary
+                );
+            }
+            assert_eq!(m.len(), 8);
+            m.drain(round * 100 + 7);
+            assert!(m.is_empty(), "round {round} leaked entries");
+            assert_eq!(m.callback_entries(), 0);
+            assert_eq!(m.earliest_completion(), None);
+        }
     }
 }

@@ -55,6 +55,7 @@ fn array(repl: ReplPolicy) -> CacheArray {
         tag_latency: 2,
         data_latency: 3,
         repl,
+        mshrs: 8,
     })
 }
 

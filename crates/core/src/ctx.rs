@@ -18,11 +18,16 @@
 //!   registered at the same or a higher level (PRIVATE → SHARED is
 //!   allowed and triggers the SHARED callback).
 //!
-//! # Panics
+//! # Misbehaving callbacks
 //!
-//! Memory ops panic if they violate the Morph-access restriction — this
-//! mirrors the architecture's deadlock-avoidance rule, which makes such
-//! programs illegal.
+//! A callback that violates the Sec 4.3 restriction (or reaches outside
+//! the locked line) does not take the simulator down: the illegal
+//! operation is suppressed (it burns a fabric slot but never touches
+//! the hierarchy), counted in `Counter::CbIllegalOp`, and recorded as a
+//! violation. When the callback returns, the hierarchy quarantines the
+//! offending Morph — its range degrades to baseline hardware behavior —
+//! mirroring the architecture's deadlock-avoidance rule without
+//! aborting the run.
 
 use tako_cache::array::{CacheArray, InsertKind};
 use tako_dataflow::{Trace, TraceResult, Val};
@@ -51,6 +56,10 @@ pub struct EngineCtx<'a> {
     /// Write-combining buffers (engine state, persist across callbacks
     /// so sequential appends combine).
     wc_lines: &'a mut Vec<Addr>,
+    /// First illegal action this callback attempted (Sec 4.3 violation
+    /// or out-of-bounds line access); the hierarchy quarantines the
+    /// Morph when set.
+    violation: Option<String>,
 }
 
 impl<'a> EngineCtx<'a> {
@@ -85,11 +94,39 @@ impl<'a> EngineCtx<'a> {
             level,
             morph_id,
             wc_lines,
+            violation: None,
         }
     }
 
     pub(crate) fn finish(self) -> TraceResult {
         self.trace.finish()
+    }
+
+    /// Record the callback's first illegal action; subsequent ones only
+    /// count (the first is what the quarantine reports).
+    fn note_violation(&mut self, msg: impl FnOnce() -> String) {
+        self.hier.stats.bump(Counter::CbIllegalOp);
+        if self.violation.is_none() {
+            self.violation = Some(format!(
+                "{} ({} fabric instrs in)",
+                msg(),
+                self.trace.instrs_so_far()
+            ));
+        }
+    }
+
+    /// Take the recorded violation, if any (read by the hierarchy after
+    /// the callback body returns, before `finish`).
+    pub(crate) fn take_violation(&mut self) -> Option<String> {
+        self.violation.take()
+    }
+
+    /// Fault injection: perform an illegal action (a coherent load of
+    /// the callback's own Morph range), exercising the same suppression
+    /// path a buggy Morph would.
+    pub(crate) fn inject_illegal(&mut self) {
+        let base = self.range.base;
+        self.engine_mem(base, false, &[]);
     }
 
     // ---- introspection -------------------------------------------------
@@ -155,25 +192,45 @@ impl<'a> EngineCtx<'a> {
         }
     }
 
-    fn line_op(&mut self, offset: usize, width: usize, deps: &[Val]) -> Val {
-        assert!(
-            offset + width <= LINE_BYTES as usize,
-            "line access out of bounds"
-        );
+    /// Clamp a line access into bounds. A well-formed callback is
+    /// untouched; an out-of-bounds one is pulled back to the last
+    /// `width`-sized slot and recorded as a violation (the locked line
+    /// is the only data the callback may touch, so the simulator must
+    /// not let a buggy offset corrupt the neighboring line).
+    fn clamp_line_offset(&mut self, offset: usize, width: usize) -> usize {
+        let max = LINE_BYTES as usize - width.min(LINE_BYTES as usize);
+        if offset > max {
+            self.note_violation(|| {
+                format!(
+                    "line access out of bounds: offset {offset} width {width}"
+                )
+            });
+            return max;
+        }
+        offset
+    }
+
+    fn line_op(
+        &mut self,
+        offset: usize,
+        width: usize,
+        deps: &[Val],
+    ) -> (usize, Val) {
+        let offset = self.clamp_line_offset(offset, width);
         let fire = self.trace.mem_fire(deps);
         let done = fire + self.host_line_latency();
-        self.trace.mem_complete(done)
+        (offset, self.trace.mem_complete(done))
     }
 
     /// Read a `u64` from the locked line at byte `offset`.
     pub fn line_read_u64(&mut self, offset: usize, deps: &[Val]) -> (u64, Val) {
-        let v = self.line_op(offset, 8, deps);
+        let (offset, v) = self.line_op(offset, 8, deps);
         (self.hier.mem.read_u64(self.line + offset as u64), v)
     }
 
     /// Read an `f64` from the locked line at byte `offset`.
     pub fn line_read_f64(&mut self, offset: usize, deps: &[Val]) -> (f64, Val) {
-        let v = self.line_op(offset, 8, deps);
+        let (offset, v) = self.line_op(offset, 8, deps);
         (self.hier.mem.read_f64(self.line + offset as u64), v)
     }
 
@@ -184,7 +241,7 @@ impl<'a> EngineCtx<'a> {
         val: u64,
         deps: &[Val],
     ) -> Val {
-        let v = self.line_op(offset, 8, deps);
+        let (offset, v) = self.line_op(offset, 8, deps);
         self.hier.mem.write_u64(self.line + offset as u64, val);
         v
     }
@@ -196,14 +253,14 @@ impl<'a> EngineCtx<'a> {
         val: f64,
         deps: &[Val],
     ) -> Val {
-        let v = self.line_op(offset, 8, deps);
+        let (offset, v) = self.line_op(offset, 8, deps);
         self.hier.mem.write_f64(self.line + offset as u64, val);
         v
     }
 
     /// Read the whole locked line as eight `u64`s with one SIMD access.
     pub fn line_read_all_u64(&mut self, deps: &[Val]) -> ([u64; 8], Val) {
-        let v = self.line_op(0, LINE_BYTES as usize, deps);
+        let (_, v) = self.line_op(0, LINE_BYTES as usize, deps);
         let mut out = [0u64; 8];
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.hier.mem.read_u64(self.line + 8 * i as u64);
@@ -213,7 +270,7 @@ impl<'a> EngineCtx<'a> {
 
     /// Read the whole locked line as eight `f64`s with one SIMD access.
     pub fn line_read_all_f64(&mut self, deps: &[Val]) -> ([f64; 8], Val) {
-        let v = self.line_op(0, LINE_BYTES as usize, deps);
+        let (_, v) = self.line_op(0, LINE_BYTES as usize, deps);
         let mut out = [0.0f64; 8];
         for (i, slot) in out.iter_mut().enumerate() {
             *slot = self.hier.mem.read_f64(self.line + 8 * i as u64);
@@ -223,7 +280,7 @@ impl<'a> EngineCtx<'a> {
 
     /// Fill the whole locked line with a repeated `u64` (one SIMD store).
     pub fn line_fill_u64(&mut self, val: u64, deps: &[Val]) -> Val {
-        let v = self.line_op(0, LINE_BYTES as usize, deps);
+        let (_, v) = self.line_op(0, LINE_BYTES as usize, deps);
         for i in 0..8 {
             self.hier.mem.write_u64(self.line + 8 * i, val);
         }
@@ -232,7 +289,7 @@ impl<'a> EngineCtx<'a> {
 
     /// Write eight `u64`s across the locked line with one SIMD store.
     pub fn line_write_all_u64(&mut self, vals: &[u64; 8], deps: &[Val]) -> Val {
-        let v = self.line_op(0, LINE_BYTES as usize, deps);
+        let (_, v) = self.line_op(0, LINE_BYTES as usize, deps);
         for (i, x) in vals.iter().enumerate() {
             self.hier.mem.write_u64(self.line + 8 * i as u64, *x);
         }
@@ -241,7 +298,7 @@ impl<'a> EngineCtx<'a> {
 
     /// Write eight `f64`s across the locked line with one SIMD store.
     pub fn line_write_all_f64(&mut self, vals: &[f64; 8], deps: &[Val]) -> Val {
-        let v = self.line_op(0, LINE_BYTES as usize, deps);
+        let (_, v) = self.line_op(0, LINE_BYTES as usize, deps);
         for (i, x) in vals.iter().enumerate() {
             self.hier.mem.write_f64(self.line + 8 * i as u64, *x);
         }
@@ -250,31 +307,44 @@ impl<'a> EngineCtx<'a> {
 
     // ---- coherent memory ops ---------------------------------------------
 
-    fn check_restriction(&self, addr: Addr) {
-        match self.hier.registry.lookup(addr) {
-            None => {}
-            Some((id, _)) if id == self.morph_id => panic!(
-                "callback accessed its own Morph range at {addr:#x}; use \
-                 line_* ops for the triggering line"
-            ),
-            Some((_, MorphLevel::Private)) => panic!(
-                "callback accessed data with a PRIVATE Morph at {addr:#x} \
+    /// Enforce the Sec 4.3 restriction. Returns true when `addr` is
+    /// legal for this callback; an illegal access is recorded as a
+    /// violation (the caller suppresses the operation and the hierarchy
+    /// quarantines the Morph after the callback returns).
+    fn check_restriction(&mut self, addr: Addr) -> bool {
+        let reason = match self.hier.registry.lookup(addr) {
+            None => return true,
+            Some((id, _)) if id == self.morph_id => {
+                "callback accessed its own Morph range"
+            }
+            Some((_, MorphLevel::Private)) => {
+                "callback accessed data with a PRIVATE Morph \
                  (Sec 4.3 restriction: same/higher level)"
-            ),
+            }
             Some((_, MorphLevel::Shared))
                 if self.level == MorphLevel::Shared =>
             {
-                panic!(
-                    "SHARED callback accessed SHARED Morph data at \
-                     {addr:#x} (Sec 4.3 restriction)"
-                );
+                "SHARED callback accessed SHARED Morph data \
+                 (Sec 4.3 restriction)"
             }
-            Some((_, MorphLevel::Shared)) => {}
-        }
+            Some((_, MorphLevel::Shared)) => return true,
+        };
+        self.note_violation(|| format!("{reason} at {addr:#x}"));
+        false
+    }
+
+    /// The timing of a suppressed illegal memory op: it occupies a
+    /// fabric slot (the instruction fired before the check tripped it)
+    /// but never reaches the hierarchy or the functional store.
+    fn suppressed_mem(&mut self, deps: &[Val]) -> Val {
+        let fire = self.trace.mem_fire(deps);
+        self.trace.mem_complete(fire + 1)
     }
 
     fn engine_mem(&mut self, addr: Addr, write: bool, deps: &[Val]) -> Val {
-        self.check_restriction(addr);
+        if !self.check_restriction(addr) {
+            return self.suppressed_mem(deps);
+        }
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(e) = self.l1d.probe_mut(line) {
@@ -308,7 +378,9 @@ impl<'a> EngineCtx<'a> {
     /// trrîp's "engine accesses insert at lower priority" (Sec 5.2)
     /// avoids polluting the core's caches with callback streams.
     fn engine_mem_nt(&mut self, addr: Addr, deps: &[Val]) -> Val {
-        self.check_restriction(addr);
+        if !self.check_restriction(addr) {
+            return self.suppressed_mem(deps);
+        }
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(e) = self.l1d.probe_mut(line) {
@@ -346,7 +418,9 @@ impl<'a> EngineCtx<'a> {
     /// line into the engine L1d without joining the dataflow graph (the
     /// later demand load completes early).
     pub fn prefetch(&mut self, addr: Addr) {
-        self.check_restriction(addr);
+        if !self.check_restriction(addr) {
+            return;
+        }
         let line = line_of(addr);
         if self.l1d.probe(line).is_some() {
             return;
@@ -390,7 +464,9 @@ impl<'a> EngineCtx<'a> {
     /// disturbing the engine L1d). When the append stream moves to a new
     /// line, the combined line writes back through the hierarchy.
     fn engine_mem_stream(&mut self, addr: Addr, deps: &[Val]) -> Val {
-        self.check_restriction(addr);
+        if !self.check_restriction(addr) {
+            return self.suppressed_mem(deps);
+        }
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(pos) = self.wc_lines.iter().position(|&l| l == line) {
@@ -463,8 +539,8 @@ impl<'a> EngineCtx<'a> {
         len: usize,
         deps: &[Val],
     ) -> Val {
-        assert!(offset + len <= LINE_BYTES as usize);
-        let read = self.line_op(offset, len, deps);
+        let len = len.min(LINE_BYTES as usize);
+        let (offset, read) = self.line_op(offset, len, deps);
         let mut buf = vec![0u8; len];
         self.hier.mem.read_bytes(self.line + offset as u64, &mut buf);
         let mut last = read;

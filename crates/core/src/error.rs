@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use tako_mem::addr::AddrRange;
+use tako_sim::config::ConfigError;
 
 /// Errors returned by Morph registration and management (Sec 4.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,6 +30,25 @@ pub enum TakoError {
     },
     /// A zero-sized range was requested.
     EmptyRange,
+    /// A Morph's callback faulted (illegal action, budget overrun, or
+    /// fabric exhaustion) and the hierarchy quarantined it, degrading
+    /// its range to baseline SRRIP hardware behavior.
+    CallbackQuarantined {
+        /// Registry id of the quarantined Morph.
+        morph: usize,
+        /// Why it was quarantined.
+        reason: String,
+    },
+    /// The forward-progress watchdog saw an access exceed its stall
+    /// bound and dumped a diagnostic snapshot.
+    WatchdogStall {
+        /// Observed end-to-end latency of the flagged access.
+        latency: u64,
+        /// The configured stall bound it exceeded.
+        bound: u64,
+    },
+    /// The system configuration failed validation.
+    InvalidConfig(ConfigError),
 }
 
 impl fmt::Display for TakoError {
@@ -54,11 +74,30 @@ impl fmt::Display for TakoError {
                  {available} are available"
             ),
             TakoError::EmptyRange => write!(f, "requested range is empty"),
+            TakoError::CallbackQuarantined { morph, reason } => write!(
+                f,
+                "Morph {morph} quarantined ({reason}); its range degraded \
+                 to baseline replacement"
+            ),
+            TakoError::WatchdogStall { latency, bound } => write!(
+                f,
+                "watchdog: access took {latency} cycles \
+                 (stall bound {bound})"
+            ),
+            TakoError::InvalidConfig(e) => {
+                write!(f, "invalid configuration: {e}")
+            }
         }
     }
 }
 
 impl Error for TakoError {}
+
+impl From<ConfigError> for TakoError {
+    fn from(e: ConfigError) -> Self {
+        TakoError::InvalidConfig(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -80,6 +119,20 @@ mod tests {
         .to_string()
         .contains("500"));
         assert!(TakoError::EmptyRange.to_string().contains("empty"));
+        assert!(TakoError::CallbackQuarantined {
+            morph: 3,
+            reason: "budget overrun".into()
+        }
+        .to_string()
+        .contains("quarantined"));
+        assert!(TakoError::WatchdogStall {
+            latency: 500_000,
+            bound: 200_000
+        }
+        .to_string()
+        .contains("watchdog"));
+        let e: TakoError = ConfigError::NoDramControllers.into();
+        assert!(e.to_string().contains("invalid configuration"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   set keeps a callback-free line (deadlock avoidance).
 
 use tako_cache::array::{CacheArray, InsertKind};
+use tako_cache::mshr::MshrFile;
 use tako_cache::prefetch::StridePrefetcher;
 use tako_cpu::AccessKind;
 use tako_mem::addr::{is_phantom, line_of, Addr, AddrRange};
@@ -30,12 +31,15 @@ use tako_mem::backing::PhysMem;
 use tako_mem::dram::Dram;
 use tako_noc::{Mesh, Payload};
 use tako_sim::config::{SystemConfig, LINE_BYTES};
+use tako_sim::energy::EnergyModel;
+use tako_sim::fault::{FaultInjector, FaultKind};
 use tako_sim::stats::{Counter, Stats};
 use tako_sim::{Cycle, TileId};
 
 use crate::ctx::EngineCtx;
 use crate::engine::Engine;
 use crate::morph::{CallbackKind, MorphId, MorphLevel, MorphRegistry};
+use crate::watchdog::{DiagnosticSnapshot, MshrSnapshot, Watchdog};
 
 /// A user-space interrupt raised by a callback (Sec 4.3 / Sec 8.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +92,13 @@ pub struct Hierarchy {
     /// up (Sec 5.2); we run them as soon as the running callback ends.
     pending_callbacks: Vec<(TileId, MorphId, CallbackKind, Addr, Cycle)>,
     callback_depth: usize,
+    /// Per-bank LLC MSHR files: bound outstanding fills and enforce the
+    /// Sec 5.2 callback reservation.
+    pub mshrs: Vec<MshrFile>,
+    /// Deterministic fault injector (inert unless `cfg.faults` is set).
+    faults: FaultInjector,
+    /// Runtime invariant watchdog and forward-progress detector.
+    pub watchdog: Watchdog,
 }
 
 impl Hierarchy {
@@ -109,6 +120,9 @@ impl Hierarchy {
         let engines = (0..cfg.tiles)
             .map(|_| Some(Engine::new(cfg.engine)))
             .collect();
+        let mshrs = (0..cfg.tiles)
+            .map(|_| MshrFile::new(cfg.llc_bank.mshrs.max(2) as usize))
+            .collect();
         Hierarchy {
             stats: Stats::new(),
             mem: PhysMem::new(),
@@ -122,6 +136,9 @@ impl Hierarchy {
             interrupts: Vec::new(),
             pending_callbacks: Vec::new(),
             callback_depth: 0,
+            mshrs,
+            faults: FaultInjector::new(cfg.faults.as_ref()),
+            watchdog: Watchdog::new(cfg.watchdog),
             cfg,
         }
     }
@@ -180,9 +197,27 @@ impl Hierarchy {
         let Some(entry) = self.registry.entry(morph_id) else {
             return arrival;
         };
+        if entry.quarantined.is_some() {
+            // Graceful degradation: the event falls through to baseline
+            // hardware behavior and the skipped callback is counted.
+            self.stats.bump(Counter::CbDegraded);
+            return arrival;
+        }
         let range = entry.range;
         let level = entry.level;
         let home_tile = entry.home_tile;
+        // Injected fabric-capacity exhaustion: the engine cannot hold the
+        // bitstream, so the Morph degrades before the callback starts.
+        if self
+            .faults
+            .poll(arrival, FaultKind::FabricExhaustion)
+            .is_some()
+        {
+            self.stats.bump(Counter::FaultInjected);
+            self.quarantine_morph(morph_id, "fabric capacity exhausted");
+            self.stats.bump(Counter::CbDegraded);
+            return arrival;
+        }
         let Some(mut morph) = self.registry.checkout(morph_id) else {
             // The Morph is mid-callback and this event was triggered by
             // that callback's own traffic: the line waits in the
@@ -211,7 +246,17 @@ impl Hierarchy {
             CallbackKind::OnEviction => Counter::CbOnEviction,
             CallbackKind::OnWriteback => Counter::CbOnWriteback,
         });
-        let result = {
+        // Injected callback misbehavior, applied through the same ctx the
+        // Morph uses so the timing and suppression paths are the real ones.
+        let overrun = self.faults.poll(start, FaultKind::CallbackOverrun);
+        let illegal = self.faults.poll(start, FaultKind::IllegalAction);
+        if overrun.is_some() {
+            self.stats.bump(Counter::FaultInjected);
+        }
+        if illegal.is_some() {
+            self.stats.bump(Counter::FaultInjected);
+        }
+        let (result, violation) = {
             let mut ctx = EngineCtx::new(
                 self,
                 &mut engine,
@@ -229,7 +274,14 @@ impl Hierarchy {
                 CallbackKind::OnEviction => morph.on_eviction(&mut ctx),
                 CallbackKind::OnWriteback => morph.on_writeback(&mut ctx),
             }
-            ctx.finish()
+            if let Some(n) = overrun {
+                ctx.alu_chain(&[], n);
+            }
+            if illegal.is_some() {
+                ctx.inject_illegal();
+            }
+            let violation = ctx.take_violation();
+            (ctx.finish(), violation)
         };
         self.stats.add(Counter::EngineInstr, result.instrs);
         self.stats.add(Counter::EngineMemOp, result.mem_ops);
@@ -246,7 +298,28 @@ impl Hierarchy {
         }
         self.registry.checkin(morph_id, morph);
         self.callback_depth -= 1;
+        if result.instrs > self.cfg.engine.callback_instr_budget {
+            self.quarantine_morph(
+                morph_id,
+                "callback instruction budget overrun",
+            );
+        }
+        if let Some(v) = violation {
+            self.quarantine_morph(
+                morph_id,
+                format!("illegal callback action: {v}"),
+            );
+        }
         result.completion
+    }
+
+    /// Quarantine a Morph (counted once per Morph). Its range keeps
+    /// routing through the hierarchy but behaves like baseline hardware
+    /// from here on.
+    fn quarantine_morph(&mut self, id: MorphId, reason: impl Into<String>) {
+        if self.registry.quarantine(id, reason) {
+            self.stats.bump(Counter::MorphQuarantined);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -307,11 +380,13 @@ impl Hierarchy {
                         if let Some(le) = self.tiles[o].l1d.probe_mut(line) {
                             le.dirty = false;
                         }
-                        let e = self.llc[bank]
-                            .probe_mut(line)
-                            .expect("line probed above");
-                        e.dirty = true;
-                        e.owner = None;
+                        // A concurrent callback may have evicted the
+                        // line between the probe and here; skip the
+                        // directory update rather than assume presence.
+                        if let Some(e) = self.llc[bank].probe_mut(line) {
+                            e.dirty = true;
+                            e.owner = None;
+                        }
                     }
                 }
                 if write {
@@ -340,28 +415,59 @@ impl Hierarchy {
                         }
                     }
                     t += inval_lat;
-                    let e = self.llc[bank]
-                        .probe_mut(line)
-                        .expect("line probed above");
-                    e.sharers = if track_sharer { 1 << tile } else { 0 };
-                    e.owner = track_sharer.then_some(tile as u8);
+                    if let Some(e) = self.llc[bank].probe_mut(line) {
+                        e.sharers = if track_sharer { 1 << tile } else { 0 };
+                        e.owner = track_sharer.then_some(tile as u8);
+                    }
                     exclusive = true;
-                } else {
-                    let e = self.llc[bank]
-                        .probe_mut(line)
-                        .expect("line probed above");
+                } else if let Some(e) = self.llc[bank].probe_mut(line) {
                     if track_sharer {
                         e.sharers |= 1 << tile;
                     }
                     exclusive = e.sharers & !(1u64 << tile) == 0
                         && e.owner.is_none();
+                } else {
+                    // Line evicted out from under the hit path: claim
+                    // nothing (a later write pays for an upgrade).
+                    exclusive = false;
                 }
                 t += self.cfg.llc_bank.data_latency;
             }
             None => {
                 self.stats.bump(Counter::LlcMiss);
                 let morph = self.registry.lookup(line);
-                let (ready, is_morph) = match morph {
+                // ---- LLC MSHR admission (Sec 5.2) ----
+                self.mshrs[bank].drain(t);
+                let for_callback =
+                    matches!(morph, Some((_, MorphLevel::Shared)));
+                if let Some(extra) =
+                    self.faults.poll(t, FaultKind::MshrPressure)
+                {
+                    // Injected pressure spike: phantom fills occupy
+                    // entries for a while, forcing the stall path below.
+                    self.stats.bump(Counter::FaultInjected);
+                    for k in 0..extra {
+                        self.mshrs[bank].try_alloc(
+                            u64::MAX - k * LINE_BYTES,
+                            t + 100 + k,
+                            false,
+                        );
+                    }
+                }
+                // The stall path engages only in fault campaigns: the
+                // recursive timing model retires accesses in order, so a
+                // full file in a normal run is a tracking artifact and
+                // stalling on it would perturb the calibrated baseline.
+                if !self.faults.is_inert() {
+                    while !self.mshrs[bank].can_alloc(for_callback) {
+                        self.stats.bump(Counter::MshrStall);
+                        t = self.mshrs[bank]
+                            .earliest_completion()
+                            .map_or(t + 1, |c| c.max(t + 1));
+                        self.mshrs[bank].drain(t);
+                    }
+                }
+                let (mut ready, is_morph) = match morph {
                     Some((id, MorphLevel::Shared)) => {
                         if is_phantom(line) {
                             self.zero_line(line);
@@ -397,17 +503,31 @@ impl Hierarchy {
                         }
                     }
                 };
+                // Injected lost/late memory response. Prefetch fills are
+                // skipped: a delayed prefetch that is evicted unused
+                // would never surface to a demand access, and the
+                // campaign asserts every injected stall is detected.
+                if insert_kind != InsertKind::Prefetch {
+                    if let Some(delay) =
+                        self.faults.poll(t, FaultKind::DelayedDram)
+                    {
+                        self.stats.bump(Counter::FaultInjected);
+                        ready += delay;
+                    }
+                }
+                self.mshrs[bank].try_alloc(line, ready, for_callback);
                 if let Some(ev) =
                     self.llc[bank].insert(line, false, is_morph, insert_kind, ready)
                 {
                     self.handle_llc_evict(bank, ev, t);
                 }
-                let e = self.llc[bank]
-                    .probe_mut(line)
-                    .expect("just inserted");
+                // Genuinely fallible: handle_llc_evict can run callbacks
+                // whose own traffic evicts the just-inserted line.
                 if track_sharer {
-                    e.sharers = 1 << tile;
-                    e.owner = write.then_some(tile as u8);
+                    if let Some(e) = self.llc[bank].probe_mut(line) {
+                        e.sharers = 1 << tile;
+                        e.owner = write.then_some(tile as u8);
+                    }
                 }
                 exclusive = true;
                 t = ready + self.cfg.llc_bank.data_latency;
@@ -781,8 +901,107 @@ impl Hierarchy {
     }
 
     /// A core-side access: the full L1 → L2 → LLC → memory walk with
-    /// Morph interposition. Returns the completion cycle.
+    /// Morph interposition, observed by the watchdog. Returns the
+    /// completion cycle.
     pub fn core_access(
+        &mut self,
+        tile: TileId,
+        kind: AccessKind,
+        addr: Addr,
+        t: Cycle,
+    ) -> Cycle {
+        let done = self.core_access_inner(tile, kind, addr, t);
+        if self.watchdog.enabled() {
+            if let Some(latency) = self.watchdog.observe_access(t, done) {
+                self.stats.bump(Counter::WatchdogStallEvents);
+                self.stats.stall_detection.record(latency);
+                if self.watchdog.snapshot().is_none() {
+                    let snap = self.diagnostic_snapshot(done, latency);
+                    self.watchdog.attach_snapshot(snap);
+                }
+            }
+            if self.watchdog.epoch_due(done) {
+                self.watchdog_epoch(done);
+            }
+        }
+        done
+    }
+
+    /// The epoch invariant sweep: trrîp's one-callback-free-line-per-set
+    /// rule, MSHR accounting (no overflow, reservation intact), and
+    /// progress-counter monotonicity.
+    fn watchdog_epoch(&mut self, now: Cycle) {
+        let instrs = self.stats.total_instrs();
+        let dram = self.stats.dram_accesses();
+        let accesses = self.stats.memory_accesses();
+        // Energy is a positive-weighted tally of monotone counters, so
+        // a regression means counter corruption (same params as
+        // `TakoSystem::energy`).
+        let energy_pj =
+            EnergyModel::default_params().tally(&self.stats).total_pj() as u64;
+        let before = self.watchdog.violation_count();
+        let wd = &mut self.watchdog;
+        wd.begin_epoch(now);
+        for (i, tile) in self.tiles.iter().enumerate() {
+            wd.check(tile.l2.morph_invariant_holds(), || {
+                format!("tile {i} L2: set of all-Morph lines (trrîp rule)")
+            });
+        }
+        for (b, bank) in self.llc.iter().enumerate() {
+            wd.check(bank.morph_invariant_holds(), || {
+                format!("LLC bank {b}: set of all-Morph lines (trrîp rule)")
+            });
+        }
+        for (b, m) in self.mshrs.iter().enumerate() {
+            wd.check(m.len() <= m.capacity(), || {
+                format!(
+                    "LLC bank {b} MSHRs overflowed: {}/{}",
+                    m.len(),
+                    m.capacity()
+                )
+            });
+            wd.check(m.callback_entries() < m.capacity(), || {
+                format!(
+                    "LLC bank {b}: callbacks hold all {} MSHRs \
+                     (Sec 5.2 reservation broken)",
+                    m.capacity()
+                )
+            });
+        }
+        wd.check_progress(instrs, dram, accesses, energy_pj);
+        let delta = self.watchdog.violation_count() - before;
+        if delta > 0 {
+            self.stats.add(Counter::InvariantViolation, delta);
+        }
+    }
+
+    /// Structured machine-state dump for the first detected stall.
+    fn diagnostic_snapshot(
+        &self,
+        cycle: Cycle,
+        latency: Cycle,
+    ) -> DiagnosticSnapshot {
+        DiagnosticSnapshot {
+            cycle,
+            latency,
+            bound: self.watchdog.stall_bound(),
+            l2_occupancy: self.tiles.iter().map(|t| t.l2.occupancy()).collect(),
+            llc_occupancy: self.llc.iter().map(|b| b.occupancy()).collect(),
+            mshrs: self
+                .mshrs
+                .iter()
+                .map(|m| MshrSnapshot {
+                    len: m.len(),
+                    for_callback: m.callback_entries(),
+                    capacity: m.capacity(),
+                })
+                .collect(),
+            pending_callbacks: self.pending_callbacks.len(),
+            quarantined_morphs: self.registry.quarantined_morphs().count(),
+        }
+    }
+
+    fn core_access_inner(
         &mut self,
         tile: TileId,
         kind: AccessKind,
@@ -864,9 +1083,10 @@ impl Hierarchy {
                     done = self.upgrade(tile, line, done);
                 }
                 if write {
-                    let e = self.tiles[tile].l2.probe_mut(line).expect("hit");
-                    e.dirty = true;
-                    e.exclusive = true;
+                    if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
+                        e.dirty = true;
+                        e.exclusive = true;
+                    }
                 }
                 self.fill_l1(tile, line, write, done);
                 done
@@ -988,10 +1208,8 @@ impl Hierarchy {
                 match hit {
                     Some(ready_at) => {
                         self.stats.bump(Counter::L2Hit);
-                        let done = (t + l2_cfg.tag_latency
-                            + l2_cfg.data_latency)
-                            .max(ready_at);
-                        done
+                        (t + l2_cfg.tag_latency + l2_cfg.data_latency)
+                            .max(ready_at)
                     }
                     None => {
                         self.stats.bump(Counter::L2Miss);

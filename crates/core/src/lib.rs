@@ -75,8 +75,10 @@ pub mod hierarchy;
 pub mod morph;
 pub mod overhead;
 pub mod system;
+pub mod watchdog;
 
 pub use ctx::EngineCtx;
 pub use error::TakoError;
 pub use morph::{CallbackKind, Morph, MorphHandle, MorphId, MorphLevel};
 pub use system::TakoSystem;
+pub use watchdog::{DiagnosticSnapshot, Watchdog};

@@ -51,8 +51,11 @@ pub enum CallbackKind {
 /// Callbacks should follow the paper's restrictions (Sec 4.3): `on_miss`
 /// and `on_eviction` should write only the affected line and Morph-local
 /// state; callbacks must not access data with a Morph registered at the
-/// same or a higher level of the hierarchy (enforced — the context
-/// panics, mirroring the architecture's deadlock rule).
+/// same or a higher level of the hierarchy. The restriction is enforced:
+/// the context suppresses the illegal access and the hierarchy
+/// quarantines the offending Morph, degrading its range to baseline
+/// hardware behavior (mirroring the architecture's deadlock rule without
+/// taking the simulation down).
 pub trait Morph {
     /// Short name for diagnostics.
     fn name(&self) -> &str;
@@ -127,6 +130,11 @@ pub(crate) struct MorphEntry {
     /// tile). Unused for SHARED Morphs, whose callbacks run at the owning
     /// bank.
     pub home_tile: usize,
+    /// Why this Morph was quarantined, or `None` while healthy. A
+    /// quarantined Morph stays registered (so its range keeps routing
+    /// through the hierarchy) but its callbacks are skipped and its
+    /// range behaves like baseline SRRIP hardware.
+    pub quarantined: Option<String>,
 }
 
 /// The table of registered Morphs: models the TLB registration bits and
@@ -196,6 +204,37 @@ impl MorphRegistry {
         }
     }
 
+    /// Quarantine a Morph after a callback fault. Returns true the
+    /// first time (so the caller counts each Morph once); the first
+    /// reason sticks.
+    pub(crate) fn quarantine(
+        &mut self,
+        id: MorphId,
+        reason: impl Into<String>,
+    ) -> bool {
+        match self.entries.get_mut(id) {
+            Some(Some(e)) if e.quarantined.is_none() => {
+                e.quarantined = Some(reason.into());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The quarantine reason for `id`, if it has been quarantined.
+    pub fn quarantined(&self, id: MorphId) -> Option<&str> {
+        self.entries.get(id)?.as_ref()?.quarantined.as_deref()
+    }
+
+    /// All quarantined Morphs, as `(id, reason)`.
+    pub fn quarantined_morphs(
+        &self,
+    ) -> impl Iterator<Item = (MorphId, &str)> + '_ {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            Some((i, e.as_ref()?.quarantined.as_deref()?))
+        })
+    }
+
     /// Number of live registrations.
     pub fn len(&self) -> usize {
         self.entries.iter().flatten().count()
@@ -224,6 +263,7 @@ mod tests {
             level,
             morph: Some(Box::new(Nop)),
             home_tile: 0,
+            quarantined: None,
         }
     }
 
@@ -262,6 +302,23 @@ mod tests {
         assert!(r.lookup(0).is_some());
         r.checkin(id, m);
         assert!(r.checkout(id).is_some());
+    }
+
+    #[test]
+    fn quarantine_is_sticky_and_counted_once() {
+        let mut r = MorphRegistry::new();
+        let id = r.insert(entry(0, 64, MorphLevel::Private));
+        assert_eq!(r.quarantined(id), None);
+        assert!(r.quarantine(id, "budget overrun"));
+        assert!(!r.quarantine(id, "illegal action"), "second is a no-op");
+        assert_eq!(r.quarantined(id), Some("budget overrun"));
+        // Lookup still resolves (the range stays registered, degraded).
+        assert!(r.lookup(0).is_some());
+        assert_eq!(
+            r.quarantined_morphs().collect::<Vec<_>>(),
+            vec![(id, "budget overrun")]
+        );
+        assert!(!r.quarantine(999, "nonexistent"));
     }
 
     #[test]

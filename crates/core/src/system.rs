@@ -35,6 +35,41 @@ impl TakoSystem {
         }
     }
 
+    /// Build a system after validating `cfg`, rejecting configurations
+    /// the hardware could not exist in (zero-way caches, non-power-of-two
+    /// set counts, no DRAM controllers, ...).
+    ///
+    /// # Errors
+    ///
+    /// [`TakoError::InvalidConfig`] describing the first problem found.
+    pub fn try_new(cfg: SystemConfig) -> Result<Self, TakoError> {
+        cfg.validate()?;
+        Ok(Self::new(cfg))
+    }
+
+    /// Post-run health verdict from the robustness machinery.
+    ///
+    /// # Errors
+    ///
+    /// [`TakoError::WatchdogStall`] if the watchdog flagged an access
+    /// exceeding its stall bound; [`TakoError::CallbackQuarantined`] if
+    /// any Morph was quarantined for a misbehaving callback. A clean run
+    /// returns `Ok(())`.
+    pub fn health(&self) -> Result<(), TakoError> {
+        if let Some((latency, bound)) = self.hier.watchdog.stall() {
+            return Err(TakoError::WatchdogStall { latency, bound });
+        }
+        if let Some((morph, reason)) =
+            self.hier.registry.quarantined_morphs().next()
+        {
+            return Err(TakoError::CallbackQuarantined {
+                morph,
+                reason: reason.to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.hier.cfg
@@ -108,6 +143,7 @@ impl TakoSystem {
             level,
             morph: Some(morph),
             home_tile: register_tile,
+            quarantined: None,
         });
         Ok(MorphHandle::new(id, range, level))
     }
@@ -161,6 +197,7 @@ impl TakoSystem {
             level,
             morph: Some(morph),
             home_tile: register_tile,
+            quarantined: None,
         });
         Ok(MorphHandle::new(id, range, level))
     }

@@ -1,0 +1,342 @@
+//! Runtime invariant watchdog.
+//!
+//! täkō's correctness leans on a handful of fragile runtime invariants:
+//! trrîp's one-callback-free-line-per-set rule (Sec 5.2), the MSHR
+//! callback reservation, and bounded callback queues. A bug in any of
+//! them historically shows up as a silent deadlock or as quiet state
+//! corruption many millions of cycles later. The [`Watchdog`] makes
+//! both failure modes loud and cheap to detect:
+//!
+//! * **Epoch sweeps** — every [`WatchdogConfig::epoch_cycles`] the
+//!   hierarchy walks its arrays and MSHR files and asserts the
+//!   invariants through [`Watchdog::check`]; failures are recorded (and
+//!   counted in `Counter::InvariantViolation`), never panicked, so a
+//!   campaign can report them all.
+//! * **Forward-progress detection** — any single access whose
+//!   end-to-end latency exceeds [`WatchdogConfig::stall_cycles`] is
+//!   flagged through [`Watchdog::observe_access`] and the first such
+//!   event captures a [`DiagnosticSnapshot`] of the machine (per-level
+//!   occupancy, MSHR state, pending callbacks) — a structured dump
+//!   instead of a hung simulator.
+//!
+//! The watchdog is strictly observational: it never changes simulated
+//! timing, so enabling it cannot perturb results.
+
+use std::fmt;
+
+use tako_sim::config::WatchdogConfig;
+use tako_sim::Cycle;
+
+/// Cap on stored violation messages (counters keep exact totals; the
+/// message list only needs enough to diagnose).
+const MAX_VIOLATIONS: usize = 64;
+
+/// Point-in-time MSHR state of one LLC bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrSnapshot {
+    /// Outstanding entries.
+    pub len: usize,
+    /// Entries held by callback-waiting requests.
+    pub for_callback: usize,
+    /// Total entries in the file.
+    pub capacity: usize,
+}
+
+/// A structured dump of hierarchy state, captured when the watchdog
+/// first detects a stalled access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosticSnapshot {
+    /// Cycle at which the stalled access completed.
+    pub cycle: Cycle,
+    /// The access's end-to-end latency.
+    pub latency: Cycle,
+    /// The stall bound it exceeded.
+    pub bound: Cycle,
+    /// Occupied lines per private L2, in tile order.
+    pub l2_occupancy: Vec<usize>,
+    /// Occupied lines per LLC bank, in tile order.
+    pub llc_occupancy: Vec<usize>,
+    /// MSHR state per LLC bank, in tile order.
+    pub mshrs: Vec<MshrSnapshot>,
+    /// Callbacks queued behind busy lines.
+    pub pending_callbacks: usize,
+    /// Morphs currently quarantined.
+    pub quarantined_morphs: usize,
+}
+
+impl fmt::Display for DiagnosticSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog snapshot @ cycle {}: access latency {} \
+             exceeded stall bound {}",
+            self.cycle, self.latency, self.bound
+        )?;
+        writeln!(f, "  L2 occupancy:  {:?}", self.l2_occupancy)?;
+        writeln!(f, "  LLC occupancy: {:?}", self.llc_occupancy)?;
+        write!(f, "  LLC MSHRs:     [")?;
+        for (i, m) in self.mshrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{} ({} cb)", m.len, m.capacity, m.for_callback)?;
+        }
+        writeln!(f, "]")?;
+        write!(
+            f,
+            "  pending callbacks: {}, quarantined Morphs: {}",
+            self.pending_callbacks, self.quarantined_morphs
+        )
+    }
+}
+
+/// The watchdog's accumulated findings for one run.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    next_epoch: Cycle,
+    epochs_run: u64,
+    violations: Vec<String>,
+    violation_count: u64,
+    stall: Option<(Cycle, Cycle)>,
+    snapshot: Option<DiagnosticSnapshot>,
+    prev_progress: Option<[u64; 4]>,
+}
+
+impl Watchdog {
+    /// A fresh watchdog; with `enabled: false` every probe is a no-op.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            next_epoch: cfg.epoch_cycles.max(1),
+            epochs_run: 0,
+            violations: Vec::new(),
+            violation_count: 0,
+            stall: None,
+            snapshot: None,
+            prev_progress: None,
+        }
+    }
+
+    /// Whether the watchdog is active at all.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The configured stall bound.
+    pub fn stall_bound(&self) -> Cycle {
+        self.cfg.stall_cycles
+    }
+
+    /// True when an epoch sweep is due at `now`.
+    pub fn epoch_due(&self, now: Cycle) -> bool {
+        self.cfg.enabled && now >= self.next_epoch
+    }
+
+    /// Start an epoch sweep, scheduling the next one after `now`.
+    pub fn begin_epoch(&mut self, now: Cycle) {
+        self.epochs_run += 1;
+        self.next_epoch = now + self.cfg.epoch_cycles.max(1);
+    }
+
+    /// Assert one invariant; records a violation when `ok` is false and
+    /// returns `ok` so callers can also bump a counter.
+    pub fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) -> bool {
+        if !ok {
+            self.violation_count += 1;
+            if self.violations.len() < MAX_VIOLATIONS {
+                self.violations.push(msg());
+            }
+        }
+        ok
+    }
+
+    /// Epoch-over-epoch monotonicity of the progress counters
+    /// (instructions, DRAM accesses, memory accesses, tallied energy):
+    /// the simulator only ever adds to them, so a decrease means state
+    /// corruption.
+    pub fn check_progress(
+        &mut self,
+        instrs: u64,
+        dram: u64,
+        accesses: u64,
+        energy_pj: u64,
+    ) {
+        let cur = [instrs, dram, accesses, energy_pj];
+        if let Some(prev) = self.prev_progress {
+            self.check(
+                cur.iter().zip(prev.iter()).all(|(c, p)| c >= p),
+                || {
+                    format!(
+                        "progress counters regressed: {prev:?} -> {cur:?}"
+                    )
+                },
+            );
+        }
+        self.prev_progress = Some(cur);
+    }
+
+    /// Observe one finished access. Returns the latency when it
+    /// exceeded the stall bound (the caller records the stall and, on
+    /// the first one, attaches a snapshot). A `done < start` pair is a
+    /// cycle-monotonicity violation and is recorded here directly.
+    pub fn observe_access(
+        &mut self,
+        start: Cycle,
+        done: Cycle,
+    ) -> Option<Cycle> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        if done < start {
+            self.check(false, || {
+                format!("access completed at {done} before it began at {start}")
+            });
+            return None;
+        }
+        let latency = done - start;
+        if latency > self.cfg.stall_cycles {
+            self.stall.get_or_insert((latency, self.cfg.stall_cycles));
+            return Some(latency);
+        }
+        None
+    }
+
+    /// Attach the machine-state dump for the first detected stall.
+    pub fn attach_snapshot(&mut self, snap: DiagnosticSnapshot) {
+        self.snapshot.get_or_insert(snap);
+    }
+
+    /// The first detected stall, as `(latency, bound)`.
+    pub fn stall(&self) -> Option<(Cycle, Cycle)> {
+        self.stall
+    }
+
+    /// The snapshot captured at the first stall.
+    pub fn snapshot(&self) -> Option<&DiagnosticSnapshot> {
+        self.snapshot.as_ref()
+    }
+
+    /// Total invariant violations observed (exact, even past the
+    /// stored-message cap).
+    pub fn violation_count(&self) -> u64 {
+        self.violation_count
+    }
+
+    /// Recorded violation messages (capped).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Number of epoch sweeps run.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(stall: u64, epoch: u64) -> WatchdogConfig {
+        WatchdogConfig {
+            enabled: true,
+            epoch_cycles: epoch,
+            stall_cycles: stall,
+        }
+    }
+
+    #[test]
+    fn disabled_watchdog_is_silent() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            enabled: false,
+            ..WatchdogConfig::default()
+        });
+        assert!(!w.epoch_due(u64::MAX));
+        assert_eq!(w.observe_access(0, u64::MAX), None);
+        assert!(w.stall().is_none());
+    }
+
+    #[test]
+    fn epoch_scheduling() {
+        let mut w = Watchdog::new(cfg(1000, 100));
+        assert!(!w.epoch_due(50));
+        assert!(w.epoch_due(100));
+        w.begin_epoch(100);
+        assert!(!w.epoch_due(150));
+        assert!(w.epoch_due(200));
+        assert_eq!(w.epochs_run(), 1);
+    }
+
+    #[test]
+    fn stall_detection_and_snapshot_once() {
+        let mut w = Watchdog::new(cfg(100, 1 << 20));
+        assert_eq!(w.observe_access(0, 100), None);
+        assert_eq!(w.observe_access(0, 101), Some(101));
+        assert_eq!(w.observe_access(0, 500), Some(500));
+        // First stall wins.
+        assert_eq!(w.stall(), Some((101, 100)));
+        let snap = DiagnosticSnapshot {
+            cycle: 101,
+            latency: 101,
+            bound: 100,
+            l2_occupancy: vec![1, 2],
+            llc_occupancy: vec![3],
+            mshrs: vec![MshrSnapshot {
+                len: 2,
+                for_callback: 1,
+                capacity: 16,
+            }],
+            pending_callbacks: 4,
+            quarantined_morphs: 0,
+        };
+        w.attach_snapshot(snap.clone());
+        let other = DiagnosticSnapshot {
+            cycle: 999,
+            ..snap.clone()
+        };
+        w.attach_snapshot(other);
+        assert_eq!(w.snapshot(), Some(&snap));
+        let text = snap.to_string();
+        assert!(text.contains("exceeded stall bound 100"));
+        assert!(text.contains("2/16 (1 cb)"));
+        assert!(text.contains("pending callbacks: 4"));
+    }
+
+    #[test]
+    fn violations_recorded_and_counted() {
+        let mut w = Watchdog::new(cfg(100, 100));
+        assert!(w.check(true, || unreachable!()));
+        assert!(!w.check(false, || "bad".to_string()));
+        assert_eq!(w.violation_count(), 1);
+        assert_eq!(w.violations(), &["bad".to_string()]);
+        // Time running backwards is a violation, not a stall.
+        assert_eq!(w.observe_access(10, 5), None);
+        assert_eq!(w.violation_count(), 2);
+        assert!(w.stall().is_none());
+    }
+
+    #[test]
+    fn violation_messages_are_capped() {
+        let mut w = Watchdog::new(cfg(100, 100));
+        for i in 0..200 {
+            w.check(false, || format!("v{i}"));
+        }
+        assert_eq!(w.violation_count(), 200);
+        assert_eq!(w.violations().len(), MAX_VIOLATIONS);
+    }
+
+    #[test]
+    fn progress_monotonicity() {
+        let mut w = Watchdog::new(cfg(100, 100));
+        w.check_progress(10, 5, 20, 900);
+        w.check_progress(11, 5, 25, 950);
+        assert_eq!(w.violation_count(), 0);
+        w.check_progress(9, 5, 30, 950);
+        assert_eq!(w.violation_count(), 1);
+        assert!(w.violations()[0].contains("regressed"));
+        // Energy regression alone is also caught.
+        w.check_progress(12, 6, 31, 800);
+        assert_eq!(w.violation_count(), 2);
+    }
+}

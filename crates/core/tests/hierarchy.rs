@@ -2,7 +2,7 @@
 //! Morph callback semantics (Table 1), phantom-line life cycle, flushes,
 //! prefetch-triggered callbacks, and the Sec 4.3 restrictions.
 
-use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
+use tako_core::{EngineCtx, Morph, MorphLevel, TakoError, TakoSystem};
 use tako_cpu::{AccessKind, MemSystem};
 use tako_mem::addr::{is_phantom, AddrRange};
 use tako_sim::config::{SystemConfig, LINE_BYTES};
@@ -382,8 +382,7 @@ impl Morph for TouchesPrivate {
 }
 
 #[test]
-#[should_panic(expected = "PRIVATE Morph")]
-fn shared_callback_touching_private_morph_panics() {
+fn shared_callback_touching_private_morph_is_quarantined() {
     let mut s = sys();
     let private = s
         .register_phantom(
@@ -401,7 +400,29 @@ fn shared_callback_touching_private_morph_panics() {
             }),
         )
         .expect("shared");
+    // The illegal access is suppressed (the run completes) and the
+    // offending Morph is quarantined, degrading its range to baseline.
     s.debug_read_u64(0, shared.range().base, 0);
+    let st = s.stats_view();
+    assert_eq!(st.get(Counter::CbIllegalOp), 1);
+    assert_eq!(st.get(Counter::MorphQuarantined), 1);
+    assert!(s
+        .hierarchy()
+        .registry
+        .quarantined(shared.id())
+        .is_some());
+    match s.health() {
+        Err(TakoError::CallbackQuarantined { morph, reason }) => {
+            assert_eq!(morph, shared.id());
+            assert!(reason.contains("illegal"));
+        }
+        other => panic!("expected CallbackQuarantined, got {other:?}"),
+    }
+    // Further misses on the quarantined range skip the callback and are
+    // counted as degraded.
+    s.debug_read_u64(0, shared.range().base + 4032, 0);
+    assert!(s.stats_view().get(Counter::CbDegraded) >= 1);
+    assert_eq!(s.stats_view().get(Counter::MorphQuarantined), 1);
 }
 
 #[test]

@@ -208,6 +208,18 @@ impl Trace<'_> {
             .record(self.live_tokens.max(0) as u64);
     }
 
+    /// Fabric instructions recorded so far. Live progress for watchdog
+    /// and violation diagnostics; [`Trace::finish`] reports the final
+    /// count.
+    pub fn instrs_so_far(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Memory operations recorded so far.
+    pub fn mem_ops_so_far(&self) -> u64 {
+        self.mem_ops
+    }
+
     /// Record one ALU (integer/SIMD) operation consuming `deps`.
     /// SIMD ops across a full cache line count as one fabric instruction,
     /// matching the paper's data-parallel callback code.
@@ -416,9 +428,13 @@ mod tests {
     fn trace_counts() {
         let mut f = fabric(EngineKind::Dataflow);
         let mut t = f.begin(0);
+        assert_eq!(t.instrs_so_far(), 0);
         let v = t.alu(&[]);
+        assert_eq!(t.instrs_so_far(), 1);
         let fire = t.mem_fire(&[v]);
         t.mem_complete(fire + 10);
+        assert_eq!(t.instrs_so_far(), 2);
+        assert_eq!(t.mem_ops_so_far(), 1);
         let r = t.finish();
         assert_eq!(r.instrs, 2);
         assert_eq!(r.mem_ops, 1);

@@ -6,6 +6,13 @@
 //! 16 out-of-order cores at 2.4 GHz in a 4×4 mesh, 32 KB L1s, 128 KB L2s,
 //! an 8 MB inclusive LLC (512 KB/bank), 5×5 dataflow engines, and four
 //! memory controllers at 100-cycle latency and 11.8 GB/s each.
+//!
+//! [`SystemConfig::validate`] rejects nonsense geometries with a typed
+//! [`ConfigError`] before a simulation is built; the robustness knobs
+//! live in [`WatchdogConfig`] and the optional
+//! [`fault plan`](crate::fault::FaultPlan).
+
+use crate::fault::FaultPlan;
 
 /// Cache line size used throughout the hierarchy, in bytes.
 pub const LINE_BYTES: u64 = 64;
@@ -36,6 +43,10 @@ pub struct CacheConfig {
     pub data_latency: u64,
     /// Replacement policy.
     pub repl: ReplPolicy,
+    /// Miss-status holding registers: maximum outstanding misses this
+    /// level tracks. One entry is reserved away from callback-waiting
+    /// requests (Sec 5.2's deadlock-avoidance rule).
+    pub mshrs: u32,
 }
 
 impl CacheConfig {
@@ -64,6 +75,7 @@ impl CacheConfig {
             tag_latency: 1,
             data_latency: 2,
             repl: ReplPolicy::Lru,
+            mshrs: 8,
         }
     }
 
@@ -75,6 +87,7 @@ impl CacheConfig {
             tag_latency: 2,
             data_latency: 4,
             repl: ReplPolicy::Trrip,
+            mshrs: 16,
         }
     }
 
@@ -87,6 +100,7 @@ impl CacheConfig {
             tag_latency: 3,
             data_latency: 5,
             repl: ReplPolicy::Trrip,
+            mshrs: 16,
         }
     }
 
@@ -98,6 +112,7 @@ impl CacheConfig {
             tag_latency: 1,
             data_latency: 1,
             repl: ReplPolicy::Lru,
+            mshrs: 4,
         }
     }
 }
@@ -244,6 +259,11 @@ pub struct EngineConfig {
     /// trrîp (Sec 5.2): engine-issued fills insert at distant priority.
     /// Disable for the ablation study.
     pub trrip: bool,
+    /// Dynamic instructions one callback may execute before the
+    /// hierarchy declares it runaway and quarantines its Morph. Far
+    /// above anything a well-behaved callback needs (they run tens to
+    /// hundreds of instructions).
+    pub callback_instr_budget: u64,
     /// The engine's coherent L1 data cache.
     pub l1d: CacheConfig,
 }
@@ -263,6 +283,7 @@ impl EngineConfig {
             rtlb_entries: 256,
             max_concurrent_callbacks: 8,
             trrip: true,
+            callback_instr_budget: 100_000,
             l1d: CacheConfig::engine_l1d_default(),
         }
     }
@@ -330,6 +351,119 @@ impl Default for PrefetchConfig {
     }
 }
 
+/// Knobs of the runtime invariant watchdog (`tako-core::watchdog`).
+///
+/// The watchdog is observational: it never alters timing, it only
+/// samples invariants once per epoch and flags accesses whose latency
+/// exceeds the stall bound, dumping a diagnostic snapshot instead of
+/// letting the run hang silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled, the watchdog never runs.
+    pub enabled: bool,
+    /// Cycles between sampled invariant sweeps (trrîp safe-line rule,
+    /// MSHR accounting, counter monotonicity).
+    pub epoch_cycles: u64,
+    /// A single access whose end-to-end latency exceeds this bound is
+    /// reported as a stall (`--watchdog-cycles`). Must comfortably
+    /// exceed a worst-case legitimate miss (DRAM latency + queueing +
+    /// a callback chain), which is a few thousand cycles.
+    pub stall_cycles: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            epoch_cycles: 1 << 17,
+            stall_cycles: 200_000,
+        }
+    }
+}
+
+/// A rejected configuration, from [`SystemConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `tiles` is zero.
+    NoTiles,
+    /// `mesh.0 * mesh.1 != tiles`.
+    MeshMismatch {
+        /// Configured mesh dimensions.
+        mesh: (usize, usize),
+        /// Configured tile count.
+        tiles: usize,
+    },
+    /// A cache level has zero ways.
+    ZeroWays(&'static str),
+    /// A cache level is smaller than one line per way.
+    CacheTooSmall(&'static str),
+    /// A cache level's set count is not a power of two (the index
+    /// function is a shift/mask).
+    SetsNotPowerOfTwo {
+        /// Which cache level.
+        level: &'static str,
+        /// The offending set count.
+        sets: u64,
+    },
+    /// A cache level has fewer than 2 MSHRs (one entry is reserved for
+    /// callback-free requests, so 1 leaves nothing for callbacks).
+    TooFewMshrs(&'static str),
+    /// `mem.controllers` is zero.
+    NoDramControllers,
+    /// `mem.bytes_per_cycle` is not a positive finite number.
+    NoDramBandwidth,
+    /// The engine fabric has no PEs of some class.
+    NoEnginePes(&'static str),
+    /// The engine callback buffer has zero entries.
+    NoCallbackBuffer,
+    /// The per-callback instruction budget is zero.
+    NoCallbackBudget,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoTiles => write!(f, "system has zero tiles"),
+            ConfigError::MeshMismatch { mesh, tiles } => write!(
+                f,
+                "mesh {}x{} does not cover {tiles} tiles",
+                mesh.0, mesh.1
+            ),
+            ConfigError::ZeroWays(level) => {
+                write!(f, "{level} cache has zero ways")
+            }
+            ConfigError::CacheTooSmall(level) => {
+                write!(f, "{level} cache too small for its associativity")
+            }
+            ConfigError::SetsNotPowerOfTwo { level, sets } => write!(
+                f,
+                "{level} cache has {sets} sets (must be a power of two)"
+            ),
+            ConfigError::TooFewMshrs(level) => {
+                write!(f, "{level} cache needs at least 2 MSHRs")
+            }
+            ConfigError::NoDramControllers => {
+                write!(f, "memory system has zero DRAM controllers")
+            }
+            ConfigError::NoDramBandwidth => {
+                write!(f, "memory bandwidth must be positive and finite")
+            }
+            ConfigError::NoEnginePes(class) => {
+                write!(f, "engine fabric has zero {class} PEs")
+            }
+            ConfigError::NoCallbackBuffer => {
+                write!(f, "engine callback buffer has zero entries")
+            }
+            ConfigError::NoCallbackBudget => {
+                write!(f, "callback instruction budget is zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full system configuration (Table 3).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
@@ -353,6 +487,11 @@ pub struct SystemConfig {
     pub mem: MemConfig,
     /// Per-tile täkō engine.
     pub engine: EngineConfig,
+    /// Runtime invariant watchdog.
+    pub watchdog: WatchdogConfig,
+    /// Optional deterministic fault plan; `None` (the default) injects
+    /// nothing and leaves the simulation byte-identical.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -369,6 +508,8 @@ impl SystemConfig {
             noc: NocConfig::default(),
             mem: MemConfig::default(),
             engine: EngineConfig::default_5x5(),
+            watchdog: WatchdogConfig::default(),
+            faults: None,
         }
     }
 
@@ -392,6 +533,65 @@ impl SystemConfig {
     /// Total LLC capacity across banks.
     pub fn llc_total_bytes(&self) -> u64 {
         self.llc_bank.size_bytes * self.tiles as u64
+    }
+
+    /// Reject nonsense configurations with a typed error before any
+    /// simulation state is built. Every bench binary calls this at
+    /// startup.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.tiles == 0 {
+            return Err(ConfigError::NoTiles);
+        }
+        if self.mesh.0 * self.mesh.1 != self.tiles {
+            return Err(ConfigError::MeshMismatch {
+                mesh: self.mesh,
+                tiles: self.tiles,
+            });
+        }
+        for (level, c) in [
+            ("L1d", &self.l1d),
+            ("L2", &self.l2),
+            ("LLC bank", &self.llc_bank),
+            ("engine L1d", &self.engine.l1d),
+        ] {
+            if c.ways == 0 {
+                return Err(ConfigError::ZeroWays(level));
+            }
+            let sets = (c.size_bytes / LINE_BYTES) / u64::from(c.ways);
+            if sets == 0 {
+                return Err(ConfigError::CacheTooSmall(level));
+            }
+            if !sets.is_power_of_two() {
+                return Err(ConfigError::SetsNotPowerOfTwo {
+                    level,
+                    sets,
+                });
+            }
+            if c.mshrs < 2 {
+                return Err(ConfigError::TooFewMshrs(level));
+            }
+        }
+        if self.mem.controllers == 0 {
+            return Err(ConfigError::NoDramControllers);
+        }
+        if !(self.mem.bytes_per_cycle > 0.0
+            && self.mem.bytes_per_cycle.is_finite())
+        {
+            return Err(ConfigError::NoDramBandwidth);
+        }
+        if self.engine.alu_pes == 0 {
+            return Err(ConfigError::NoEnginePes("ALU"));
+        }
+        if self.engine.mem_pes == 0 {
+            return Err(ConfigError::NoEnginePes("memory"));
+        }
+        if self.engine.callback_buffer == 0 {
+            return Err(ConfigError::NoCallbackBuffer);
+        }
+        if self.engine.callback_instr_budget == 0 {
+            return Err(ConfigError::NoCallbackBudget);
+        }
+        Ok(())
     }
 }
 
@@ -451,8 +651,98 @@ mod tests {
             tag_latency: 1,
             data_latency: 1,
             repl: ReplPolicy::Lru,
+            mshrs: 4,
         }
         .sets();
+    }
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(SystemConfig::default_16core().validate(), Ok(()));
+        assert_eq!(SystemConfig::with_tiles(7).validate(), Ok(()));
+        assert_eq!(SystemConfig::with_tiles(64).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let base = SystemConfig::default_16core;
+
+        let mut cfg = base();
+        cfg.tiles = 0;
+        cfg.mesh = (0, 0);
+        assert_eq!(cfg.validate(), Err(ConfigError::NoTiles));
+
+        let mut cfg = base();
+        cfg.mesh = (3, 4);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::MeshMismatch {
+                mesh: (3, 4),
+                tiles: 16
+            })
+        );
+
+        let mut cfg = base();
+        cfg.l2.ways = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroWays("L2")));
+
+        let mut cfg = base();
+        cfg.l1d.size_bytes = 64;
+        assert_eq!(cfg.validate(), Err(ConfigError::CacheTooSmall("L1d")));
+
+        let mut cfg = base();
+        cfg.llc_bank.size_bytes = 3 * 64 * 16;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::SetsNotPowerOfTwo {
+                level: "LLC bank",
+                sets: 3
+            })
+        );
+
+        let mut cfg = base();
+        cfg.llc_bank.mshrs = 1;
+        assert_eq!(cfg.validate(), Err(ConfigError::TooFewMshrs("LLC bank")));
+
+        let mut cfg = base();
+        cfg.mem.controllers = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoDramControllers));
+
+        let mut cfg = base();
+        cfg.mem.bytes_per_cycle = 0.0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoDramBandwidth));
+
+        let mut cfg = base();
+        cfg.engine.mem_pes = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoEnginePes("memory")));
+
+        let mut cfg = base();
+        cfg.engine.callback_buffer = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoCallbackBuffer));
+
+        let mut cfg = base();
+        cfg.engine.callback_instr_budget = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoCallbackBudget));
+    }
+
+    #[test]
+    fn config_error_display() {
+        assert_eq!(
+            ConfigError::ZeroWays("L2").to_string(),
+            "L2 cache has zero ways"
+        );
+        assert_eq!(
+            ConfigError::SetsNotPowerOfTwo {
+                level: "LLC bank",
+                sets: 3
+            }
+            .to_string(),
+            "LLC bank cache has 3 sets (must be a power of two)"
+        );
+        assert_eq!(
+            ConfigError::NoDramControllers.to_string(),
+            "memory system has zero DRAM controllers"
+        );
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded, pre-computed list of misbehaving-Morph
+//! scenarios to inject at configured cycle points: callback overruns past
+//! the engine instruction budget, callbacks that issue illegal actions
+//! (Sec 4.3 restriction violations), fabric-capacity exhaustion, MSHR
+//! pressure spikes, and delayed DRAM responses. Plans are built from a
+//! seed via the in-tree [`crate::rng`] so a campaign is reproducible
+//! bit-for-bit, and are carried in
+//! [`SystemConfig::faults`](crate::config::SystemConfig) so every
+//! workload inherits them without signature changes.
+//!
+//! At run time the hierarchy holds a [`FaultInjector`] and polls it at
+//! the few sites where each fault kind is meaningful. Polling an
+//! injector built from `None`/an empty plan is a branch on an empty
+//! vector — the hot path is unchanged and disabled runs stay
+//! byte-identical.
+
+use crate::rng::Rng;
+use crate::Cycle;
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The callback body runs `magnitude` extra engine instructions,
+    /// blowing through the configured per-callback budget.
+    CallbackOverrun,
+    /// The callback issues an action the Sec 4.3 restriction forbids
+    /// (an access to data covered by a Morph at the same level).
+    IllegalAction,
+    /// The dataflow fabric reports no capacity for a scheduled
+    /// callback, as if every PE were wedged.
+    FabricExhaustion,
+    /// `magnitude` phantom MSHR entries appear at an LLC bank,
+    /// squeezing real misses against the callback reservation.
+    MshrPressure,
+    /// A DRAM response is delayed by `magnitude` cycles, emulating a
+    /// stalled memory controller.
+    DelayedDram,
+}
+
+impl FaultKind {
+    /// All kinds, in a fixed order (used by `mix` plans).
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::CallbackOverrun,
+        FaultKind::IllegalAction,
+        FaultKind::FabricExhaustion,
+        FaultKind::MshrPressure,
+        FaultKind::DelayedDram,
+    ];
+
+    /// Short name used by the `--faults seed:kind[:count]` flag.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::CallbackOverrun => "overrun",
+            FaultKind::IllegalAction => "illegal",
+            FaultKind::FabricExhaustion => "fabric",
+            FaultKind::MshrPressure => "mshr",
+            FaultKind::DelayedDram => "dram",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.name() == s)
+    }
+
+    /// The default magnitude for this kind: extra instructions for
+    /// overruns, phantom entries for MSHR pressure, extra cycles for
+    /// DRAM delays, unused otherwise.
+    pub fn default_magnitude(self) -> u64 {
+        match self {
+            FaultKind::CallbackOverrun => 150_000,
+            FaultKind::IllegalAction => 0,
+            FaultKind::FabricExhaustion => 0,
+            FaultKind::MshrPressure => 12,
+            FaultKind::DelayedDram => 400_000,
+        }
+    }
+}
+
+/// One scheduled fault: at or after cycle `at`, the next poll for
+/// `kind` fires with `magnitude`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Earliest cycle at which the fault may fire.
+    pub at: Cycle,
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Kind-specific severity (see [`FaultKind::default_magnitude`]).
+    pub magnitude: u64,
+}
+
+/// A seeded, deterministic schedule of faults.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The seed the plan was derived from (0 for hand-built plans).
+    pub seed: u64,
+    /// Scheduled faults, in no particular order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful to prove the armed-but-empty
+    /// path is inert).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// A plan with a single hand-placed fault.
+    pub fn single(at: Cycle, kind: FaultKind, magnitude: u64) -> Self {
+        FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                at,
+                kind,
+                magnitude,
+            }],
+        }
+    }
+
+    /// A seeded plan of `count` faults drawn from `kinds` (round-robin)
+    /// with injection cycles uniform in `[lo, hi)` and default
+    /// magnitudes. Identical arguments always produce an identical
+    /// plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kinds` is empty or `lo >= hi`.
+    pub fn seeded(
+        seed: u64,
+        kinds: &[FaultKind],
+        count: usize,
+        lo: Cycle,
+        hi: Cycle,
+    ) -> Self {
+        assert!(!kinds.is_empty(), "kinds must be non-empty");
+        assert!(lo < hi, "cycle window must be non-empty");
+        let mut rng = Rng::new(seed);
+        let events = (0..count)
+            .map(|i| {
+                let kind = kinds[i % kinds.len()];
+                FaultEvent {
+                    at: lo + rng.below(hi - lo),
+                    kind,
+                    magnitude: kind.default_magnitude(),
+                }
+            })
+            .collect();
+        FaultPlan { seed, events }
+    }
+
+    /// Parse the `--faults seed:kind[:count]` flag syntax, e.g.
+    /// `7:dram`, `3:overrun:4`, or `11:mix:10` (`mix`/`all` cycles
+    /// through every kind). Injection cycles are spread over the first
+    /// million cycles; campaigns that know the run horizon should use
+    /// [`FaultPlan::seeded`] directly.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return Err(format!(
+                "--faults wants seed:kind[:count], got `{s}`"
+            ));
+        }
+        let seed: u64 = parts[0]
+            .parse()
+            .map_err(|_| format!("bad fault seed `{}`", parts[0]))?;
+        let kinds: Vec<FaultKind> = match parts[1] {
+            "mix" | "all" => FaultKind::ALL.to_vec(),
+            other => vec![FaultKind::from_name(other).ok_or(format!(
+                "unknown fault kind `{other}` (want overrun, illegal, \
+                 fabric, mshr, dram, or mix)"
+            ))?],
+        };
+        let count: usize = match parts.get(2) {
+            Some(c) => c
+                .parse()
+                .map_err(|_| format!("bad fault count `{c}`"))?,
+            None => kinds.len(),
+        };
+        Ok(FaultPlan::seeded(seed, &kinds, count, 1_000, 1_000_000))
+    }
+}
+
+/// Runtime state for one run: which scheduled faults have fired.
+///
+/// The hierarchy polls the injector at each site where a fault kind is
+/// meaningful; a poll fires the first due, untaken event of that kind
+/// and returns its magnitude. With no events the poll is a single
+/// `is_empty` branch, so disabled runs are byte-identical.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    events: Vec<FaultEvent>,
+    taken: Vec<bool>,
+    fired: u64,
+}
+
+impl FaultInjector {
+    /// An injector for a plan (or an inert one for `None`).
+    pub fn new(plan: Option<&FaultPlan>) -> Self {
+        let events = plan.map(|p| p.events.clone()).unwrap_or_default();
+        let taken = vec![false; events.len()];
+        FaultInjector {
+            events,
+            taken,
+            fired: 0,
+        }
+    }
+
+    /// True if this injector can never fire.
+    pub fn is_inert(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Fire the first due, untaken event of `kind` at cycle `now`,
+    /// returning its magnitude.
+    pub fn poll(&mut self, now: Cycle, kind: FaultKind) -> Option<u64> {
+        if self.events.is_empty() {
+            return None;
+        }
+        for (i, ev) in self.events.iter().enumerate() {
+            if !self.taken[i] && ev.kind == kind && ev.at <= now {
+                self.taken[i] = true;
+                self.fired += 1;
+                return Some(ev.magnitude);
+            }
+        }
+        None
+    }
+
+    /// How many faults have fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// How many scheduled faults have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.taken.iter().filter(|t| !**t).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut inj = FaultInjector::new(None);
+        assert!(inj.is_inert());
+        assert_eq!(inj.poll(u64::MAX, FaultKind::DelayedDram), None);
+        let mut inj = FaultInjector::new(Some(&FaultPlan::empty()));
+        assert!(inj.is_inert());
+        assert_eq!(inj.poll(u64::MAX, FaultKind::CallbackOverrun), None);
+    }
+
+    #[test]
+    fn single_fires_once_when_due() {
+        let plan = FaultPlan::single(100, FaultKind::DelayedDram, 7);
+        let mut inj = FaultInjector::new(Some(&plan));
+        assert_eq!(inj.poll(99, FaultKind::DelayedDram), None);
+        assert_eq!(inj.poll(50, FaultKind::MshrPressure), None);
+        assert_eq!(inj.poll(100, FaultKind::DelayedDram), Some(7));
+        assert_eq!(inj.poll(200, FaultKind::DelayedDram), None);
+        assert_eq!(inj.fired(), 1);
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn kind_filter_respected() {
+        let plan = FaultPlan::single(0, FaultKind::IllegalAction, 0);
+        let mut inj = FaultInjector::new(Some(&plan));
+        assert_eq!(inj.poll(1_000, FaultKind::CallbackOverrun), None);
+        assert_eq!(inj.poll(1_000, FaultKind::IllegalAction), Some(0));
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a = FaultPlan::seeded(9, &FaultKind::ALL, 20, 100, 10_000);
+        let b = FaultPlan::seeded(9, &FaultKind::ALL, 20, 100, 10_000);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 20);
+        for ev in &a.events {
+            assert!((100..10_000).contains(&ev.at));
+        }
+        let c = FaultPlan::seeded(10, &FaultKind::ALL, 20, 100, 10_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeded_round_robins_kinds() {
+        let p = FaultPlan::seeded(1, &FaultKind::ALL, 10, 0, 100);
+        for (i, ev) in p.events.iter().enumerate() {
+            assert_eq!(ev.kind, FaultKind::ALL[i % FaultKind::ALL.len()]);
+        }
+    }
+
+    #[test]
+    fn parse_forms() {
+        let p = FaultPlan::parse("7:dram").unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.events.len(), 1);
+        assert_eq!(p.events[0].kind, FaultKind::DelayedDram);
+
+        let p = FaultPlan::parse("3:overrun:4").unwrap();
+        assert_eq!(p.events.len(), 4);
+        assert!(p
+            .events
+            .iter()
+            .all(|e| e.kind == FaultKind::CallbackOverrun));
+
+        let p = FaultPlan::parse("11:mix:10").unwrap();
+        assert_eq!(p.events.len(), 10);
+
+        assert!(FaultPlan::parse("x:dram").is_err());
+        assert!(FaultPlan::parse("1:bogus").is_err());
+        assert!(FaultPlan::parse("1:dram:zzz").is_err());
+        assert!(FaultPlan::parse("1").is_err());
+        assert!(FaultPlan::parse("1:dram:2:3").is_err());
+    }
+
+    #[test]
+    fn round_trip_kind_names() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("nope"), None);
+    }
+}

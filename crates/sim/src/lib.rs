@@ -15,6 +15,9 @@
 //! * [`rng`] — a tiny deterministic SplitMix64/xoshiro256** implementation
 //!   so every experiment is reproducible bit-for-bit without depending on
 //!   `rand`'s version-dependent streams.
+//! * [`fault`] — seeded, deterministic fault plans (misbehaving-Morph
+//!   scenarios, MSHR pressure, delayed DRAM) that the hierarchy injects
+//!   at configured cycle points; inert unless armed.
 //! * [`parallel`] — a std-only fork-join worker pool with deterministic,
 //!   input-ordered result collection, used by the benchmark harnesses to
 //!   fan independent simulations across cores.
@@ -37,6 +40,7 @@
 
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

@@ -18,8 +18,12 @@
 //!
 //! Panics in workers propagate: `std::thread::scope` re-raises a child
 //! panic on join, so a failing simulation fails the whole map, like the
-//! serial loop it replaces.
+//! serial loop it replaces. Harnesses that must survive a failing
+//! experiment (`all_experiments --keep-going`) use
+//! [`parallel_map_catch`], which isolates each item's panic into an
+//! `Err` carrying the panic payload instead.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -96,6 +100,42 @@ where
         .collect()
 }
 
+/// Render a panic payload as text: the `&str`/`String` message when the
+/// panic carried one (the overwhelmingly common case), a placeholder
+/// otherwise.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Like [`parallel_map`], but a panicking `f` invocation yields
+/// `Err(panic message)` for that item while every other item still
+/// completes — the panic-isolating mode behind `--keep-going`.
+///
+/// The closure must not leave shared state half-mutated when it panics;
+/// experiment harnesses satisfy this because each item's simulation is
+/// self-contained (the `AssertUnwindSafe` below is sound for the same
+/// reason `parallel_map`'s determinism argument holds).
+pub fn parallel_map_catch<T, R, F>(
+    jobs: usize,
+    items: Vec<T>,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    parallel_map(jobs, items, |i, x| {
+        catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(panic_message)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +208,48 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn catch_isolates_panics_and_keeps_order() {
+        let out = parallel_map_catch(
+            4,
+            (0..32).collect::<Vec<u64>>(),
+            |_, x| {
+                if x == 17 {
+                    panic!("boom on {x}");
+                }
+                x * 2
+            },
+        );
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 17 {
+                assert_eq!(r.as_ref().unwrap_err(), "boom on 17");
+            } else {
+                assert_eq!(*r, Ok(i as u64 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn catch_serial_path_also_isolates() {
+        let out = parallel_map_catch(1, vec![1u32, 2, 3], |_, x| {
+            if x == 2 {
+                panic!("static str payload");
+            }
+            x
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1].as_ref().unwrap_err(), "static str payload");
+        assert_eq!(out[2], Ok(3));
+    }
+
+    #[test]
+    fn catch_all_ok_matches_plain_map() {
+        let out = parallel_map_catch(8, (0..64).collect::<Vec<u64>>(), |i, x| {
+            x + i as u64
+        });
+        assert!(out.iter().enumerate().all(|(i, r)| *r == Ok(2 * i as u64)));
     }
 }

@@ -119,6 +119,22 @@ counters! {
     HatsEdgeLogged,
     /// Application-level: edges emitted by the HATS traversal engine.
     HatsEdgeEmitted,
+    /// Requests that found every usable MSHR entry busy and stalled.
+    MshrStall,
+    /// Faults fired by the deterministic fault injector.
+    FaultInjected,
+    /// Morphs quarantined after a callback fault or budget overrun.
+    MorphQuarantined,
+    /// Callbacks skipped because their Morph was quarantined (the range
+    /// degrades to baseline SRRIP hardware behavior).
+    CbDegraded,
+    /// Illegal callback actions (Sec 4.3 restriction violations)
+    /// detected and suppressed.
+    CbIllegalOp,
+    /// Accesses whose latency exceeded the watchdog stall bound.
+    WatchdogStallEvents,
+    /// Invariant violations found by the watchdog's epoch sweeps.
+    InvariantViolation,
 }
 
 /// Number of workload phases tracked for per-phase breakdowns.
@@ -228,6 +244,9 @@ pub struct Stats {
     pub callback_latency: LatencyHistogram,
     /// Live dataflow tokens sampled while engines are active (Sec 5.3).
     pub live_tokens: LatencyHistogram,
+    /// How long past the stall bound each watchdog-flagged access ran
+    /// (detection latency; empty unless stalls were detected).
+    pub stall_detection: LatencyHistogram,
 }
 
 impl Stats {
@@ -240,6 +259,7 @@ impl Stats {
             load_latency: LatencyHistogram::new(),
             callback_latency: LatencyHistogram::new(),
             live_tokens: LatencyHistogram::new(),
+            stall_detection: LatencyHistogram::new(),
         }
     }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, lints, and a fault-injection smoke run.
+# Run from the repository root. Everything here is offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke the robustness contract: a small seeded campaign (6 scenarios
+# per case study) must complete with zero invariant violations, every
+# injected stall detected, and noninterference intact. Takes ~2s.
+echo "==> fault_campaign smoke"
+./target/release/fault_campaign --scale 0.25 --scenarios 6
+
+echo "ci: all green"
