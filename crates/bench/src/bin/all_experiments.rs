@@ -19,8 +19,7 @@
 use std::time::Instant;
 
 use tako_bench::{
-    run_all, run_all_catch, validate_base_config, warn_unknown,
-    ExperimentResult, Opts,
+    run_all, run_all_catch, validate_base_config, warn_unknown, ExperimentResult, Opts,
 };
 
 /// Flags specific to this binary, parsed from the leftovers of
@@ -81,15 +80,11 @@ fn main() {
     }
 
     let t0 = Instant::now();
-    let results: Vec<(&str, Result<ExperimentResult, String>)> =
-        if flags.keep_going {
-            run_all_catch(opts, flags.force_panic.as_deref())
-        } else {
-            run_all(opts)
-                .into_iter()
-                .map(|r| (r.name, Ok(r)))
-                .collect()
-        };
+    let results: Vec<(&str, Result<ExperimentResult, String>)> = if flags.keep_going {
+        run_all_catch(opts, flags.force_panic.as_deref())
+    } else {
+        run_all(opts).into_iter().map(|r| (r.name, Ok(r))).collect()
+    };
     let total_wall = t0.elapsed();
 
     let mut failures: Vec<(&str, &str)> = Vec::new();

@@ -116,8 +116,7 @@ fn parse_campaign_flags(unknown: Vec<String>) -> CampaignFlags {
             }
             "--watchdog-cycles" => {
                 if let Some(v) = unknown.get(i + 1) {
-                    flags.watchdog_cycles =
-                        v.parse().unwrap_or(flags.watchdog_cycles).max(1);
+                    flags.watchdog_cycles = v.parse().unwrap_or(flags.watchdog_cycles).max(1);
                     i += 1;
                 }
             }
@@ -221,9 +220,7 @@ fn check_scenario(
                 problems.push("illegal op not recorded".into());
             }
         }
-        Some(FaultKind::MshrPressure)
-            if fired > 0 && r.get(Counter::MshrStall) == 0 =>
-        {
+        Some(FaultKind::MshrPressure) if fired > 0 && r.get(Counter::MshrStall) == 0 => {
             problems.push("pressure spike caused no MSHR stall".into());
         }
         Some(FaultKind::DelayedDram) if fired > 0 => {
@@ -268,8 +265,7 @@ fn check_noninterference(case: &CaseStudy, opts: &Opts, bound: u64) -> bool {
     armed.faults = Some(FaultPlan::empty());
     let a = (case.run)(&plain, opts);
     let b = (case.run)(&armed, opts);
-    let mut same = a.cycles == b.cycles
-        && a.energy_uj.to_bits() == b.energy_uj.to_bits();
+    let mut same = a.cycles == b.cycles && a.energy_uj.to_bits() == b.energy_uj.to_bits();
     for c in Counter::ALL {
         same &= a.get(c) == b.get(c);
     }
@@ -302,8 +298,7 @@ fn main() {
             "{}: clean run tripped the watchdog (bound too tight?)",
             case.name
         );
-        let noninterference =
-            check_noninterference(case, &opts, flags.watchdog_cycles);
+        let noninterference = check_noninterference(case, &opts, flags.watchdog_cycles);
         println!(
             "{:<11} clean: {} cycles, watchdog noninterference {}",
             case.name,
@@ -320,47 +315,33 @@ fn main() {
         // and callbacks are densest there); `arm` then anchors one
         // event per kind at the very start so every plan fires.
         let (lo, hi) = (1, (horizon / 3).max(3));
-        let scenarios: Vec<(usize, Option<FaultKind>, FaultPlan)> =
-            match &flags.adhoc {
-                Some(p) => {
-                    let mut p = p.clone();
-                    arm(&mut p, flags.watchdog_cycles);
-                    vec![(0, None, p)]
-                }
-                None => (0..flags.scenarios)
-                    .map(|s| {
-                        let kind = ROTATION[s % ROTATION.len()];
-                        let kinds: Vec<FaultKind> = match kind {
-                            Some(k) => vec![k],
-                            None => FaultKind::ALL.to_vec(),
-                        };
-                        let count = kinds.len().max(1 + s / ROTATION.len());
-                        let mut plan = FaultPlan::seeded(
-                            opts.seed ^ (s as u64) << 8,
-                            &kinds,
-                            count,
-                            lo,
-                            hi,
-                        );
-                        arm(&mut plan, flags.watchdog_cycles);
-                        (s, kind, plan)
-                    })
-                    .collect(),
-            };
+        let scenarios: Vec<(usize, Option<FaultKind>, FaultPlan)> = match &flags.adhoc {
+            Some(p) => {
+                let mut p = p.clone();
+                arm(&mut p, flags.watchdog_cycles);
+                vec![(0, None, p)]
+            }
+            None => (0..flags.scenarios)
+                .map(|s| {
+                    let kind = ROTATION[s % ROTATION.len()];
+                    let kinds: Vec<FaultKind> = match kind {
+                        Some(k) => vec![k],
+                        None => FaultKind::ALL.to_vec(),
+                    };
+                    let count = kinds.len().max(1 + s / ROTATION.len());
+                    let mut plan =
+                        FaultPlan::seeded(opts.seed ^ (s as u64) << 8, &kinds, count, lo, hi);
+                    arm(&mut plan, flags.watchdog_cycles);
+                    (s, kind, plan)
+                })
+                .collect(),
+        };
 
         let verdicts = run_variants(opts, &scenarios, |(idx, kind, plan)| {
             let mut cfg = base_cfg(flags.watchdog_cycles);
             cfg.faults = Some(plan.clone());
             let r = (case.run)(&cfg, &opts);
-            let v = check_scenario(
-                case,
-                idx,
-                kind,
-                &plan,
-                &clean,
-                &r,
-                flags.watchdog_cycles,
-            );
+            let v = check_scenario(case, idx, kind, &plan, &clean, &r, flags.watchdog_cycles);
             (v, r.get(Counter::InvariantViolation))
         });
         for (v, viol) in verdicts {

@@ -10,9 +10,7 @@
 //! single-threaded `TakoSystem`, and results are collected in input
 //! order, so the printed output does not depend on the job count.
 
-use tako_sim::config::{
-    CoreConfig, EngineConfig, SystemConfig,
-};
+use tako_sim::config::{CoreConfig, EngineConfig, SystemConfig};
 use tako_sim::stats::Counter;
 use tako_workloads::{decompress, hats, nvm, phi, sidechannel, soa};
 
@@ -66,14 +64,11 @@ fn decompress_params(opts: Opts) -> decompress::Params {
 pub fn fig06_decompress(opts: Opts) -> String {
     let params = decompress_params(opts);
     let cfg = SystemConfig::default_16core();
-    let mut out = String::from(
-        "# Fig 6: decompression — speedup & energy vs software baseline\n",
-    );
+    let mut out = String::from("# Fig 6: decompression — speedup & energy vs software baseline\n");
     let results = run_variants(opts, &decompress::Variant::ALL, |v| {
         decompress::run(v, params, &cfg)
     });
-    let (base_cycles, base_energy) =
-        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
+    let (base_cycles, base_energy) = (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
     for (v, r) in decompress::Variant::ALL.iter().zip(&results) {
         assert!((r.average - r.expected).abs() < 1e-9, "functional check");
         baseline_relative(
@@ -155,14 +150,9 @@ fn phi_cfg(opts: Opts) -> SystemConfig {
 pub fn fig13_phi(opts: Opts) -> String {
     let params = phi_params(opts);
     let cfg = phi_cfg(opts);
-    let mut out = String::from(
-        "# Fig 13: PHI PageRank — speedup & energy vs software baseline\n",
-    );
-    let results = run_variants(opts, &phi::Variant::ALL, |v| {
-        phi::run(v, &params, &cfg)
-    });
-    let (base_cycles, base_energy) =
-        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
+    let mut out = String::from("# Fig 13: PHI PageRank — speedup & energy vs software baseline\n");
+    let results = run_variants(opts, &phi::Variant::ALL, |v| phi::run(v, &params, &cfg));
+    let (base_cycles, base_energy) = (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = Software
     for (v, r) in phi::Variant::ALL.iter().zip(&results) {
         baseline_relative(
             &mut out,
@@ -180,11 +170,8 @@ pub fn fig13_phi(opts: Opts) -> String {
 pub fn fig14_phi_dram(opts: Opts) -> String {
     let params = phi_params(opts);
     let cfg = phi_cfg(opts);
-    let mut out =
-        String::from("# Fig 14: DRAM accesses per phase (edge/bin/vertex)\n");
-    let results = run_variants(opts, &phi::Variant::ALL, |v| {
-        phi::run(v, &params, &cfg)
-    });
+    let mut out = String::from("# Fig 14: DRAM accesses per phase (edge/bin/vertex)\n");
+    let results = run_variants(opts, &phi::Variant::ALL, |v| phi::run(v, &params, &cfg));
     for (v, r) in phi::Variant::ALL.iter().zip(&results) {
         let ph = r.run.stats.phases();
         out.push_str(&row(
@@ -244,14 +231,9 @@ fn hats_cfg() -> SystemConfig {
 pub fn fig16_hats(opts: Opts) -> String {
     let params = hats_params(opts);
     let cfg = hats_cfg();
-    let mut out = String::from(
-        "# Fig 16: HATS PageRank — speedup & energy vs vertex-ordered\n",
-    );
-    let results = run_variants(opts, &hats::Variant::ALL, |v| {
-        hats::run(v, &params, &cfg)
-    });
-    let (base_cycles, base_energy) =
-        (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = VertexOrdered
+    let mut out = String::from("# Fig 16: HATS PageRank — speedup & energy vs vertex-ordered\n");
+    let results = run_variants(opts, &hats::Variant::ALL, |v| hats::run(v, &params, &cfg));
+    let (base_cycles, base_energy) = (results[0].run.cycles, results[0].run.energy_uj); // ALL[0] = VertexOrdered
     for (v, r) in hats::Variant::ALL.iter().zip(&results) {
         baseline_relative(
             &mut out,
@@ -270,12 +252,9 @@ pub fn fig16_hats(opts: Opts) -> String {
 pub fn fig17_hats_breakdown(opts: Opts) -> String {
     let params = hats_params(opts);
     let cfg = hats_cfg();
-    let mut out = String::from(
-        "# Fig 17: HATS breakdown (DRAM / mispredicts per edge / load latency)\n",
-    );
-    let results = run_variants(opts, &hats::Variant::ALL, |v| {
-        hats::run(v, &params, &cfg)
-    });
+    let mut out =
+        String::from("# Fig 17: HATS breakdown (DRAM / mispredicts per edge / load latency)\n");
+    let results = run_variants(opts, &hats::Variant::ALL, |v| hats::run(v, &params, &cfg));
     for (v, r) in hats::Variant::ALL.iter().zip(&results) {
         out.push_str(&row(
             v.label(),
@@ -301,9 +280,8 @@ pub fn fig17_hats_breakdown(opts: Opts) -> String {
 pub fn fig19_nvm(opts: Opts) -> String {
     let cfg = SystemConfig::default_16core();
     let sizes: [u64; 6] = [1, 4, 16, 32, 64, 128];
-    let mut out = String::from(
-        "# Fig 19: NVM transactions — speedup & energy vs journaling, by txn size\n",
-    );
+    let mut out =
+        String::from("# Fig 19: NVM transactions — speedup & energy vs journaling, by txn size\n");
     // One worker item per transaction size (each runs its own baseline).
     let results = run_variants(opts, &sizes, |kb| {
         let params = nvm::Params {
@@ -324,10 +302,7 @@ pub fn fig19_nvm(opts: Opts) -> String {
                     "speedup",
                     fx(base.run.cycles as f64 / tako.run.cycles as f64),
                 ),
-                (
-                    "energy",
-                    pct(tako.run.energy_uj / base.run.energy_uj),
-                ),
+                ("energy", pct(tako.run.energy_uj / base.run.energy_uj)),
                 ("journal_writes", tako.journal_writes.to_string()),
             ],
         ));
@@ -343,11 +318,8 @@ pub fn fig20_nvm_instrs(opts: Opts) -> String {
         txns: opts.sized(64) as u64,
         seed: opts.seed,
     };
-    let mut out =
-        String::from("# Fig 20: instructions per 8 B written (16 KB txns)\n");
-    let results = run_variants(opts, &nvm::Variant::ALL, |v| {
-        nvm::run(v, params, &cfg)
-    });
+    let mut out = String::from("# Fig 20: instructions per 8 B written (16 KB txns)\n");
+    let results = run_variants(opts, &nvm::Variant::ALL, |v| nvm::run(v, params, &cfg));
     for (v, r) in nvm::Variant::ALL.iter().zip(&results) {
         out.push_str(&row(
             v.label(),
@@ -356,10 +328,7 @@ pub fn fig20_nvm_instrs(opts: Opts) -> String {
                 ("engine", format!("{:.2}", r.engine_instrs_per_word)),
                 (
                     "total",
-                    format!(
-                        "{:.2}",
-                        r.core_instrs_per_word + r.engine_instrs_per_word
-                    ),
+                    format!("{:.2}", r.core_instrs_per_word + r.engine_instrs_per_word),
                 ),
             ],
         ));
@@ -384,9 +353,7 @@ pub fn fig21_sidechannel(opts: Opts) -> String {
         ("baseline", sidechannel::Variant::Baseline),
         ("tako", sidechannel::Variant::Tako),
     ];
-    let results = run_variants(opts, &variants, |(_, v)| {
-        sidechannel::run(v, params, &cfg)
-    });
+    let results = run_variants(opts, &variants, |(_, v)| sidechannel::run(v, params, &cfg));
     for ((label, _), r) in variants.iter().zip(&results) {
         let trace: String = r
             .touched
@@ -415,9 +382,7 @@ pub fn fig21_sidechannel(opts: Opts) -> String {
             ],
         ));
     }
-    out.push_str(
-        "(X = secret access leaked, o = missed, ! = false positive, . = quiet)\n",
-    );
+    out.push_str("(X = secret access leaked, o = missed, ! = false positive, . = quiet)\n");
     out
 }
 
@@ -425,10 +390,7 @@ pub fn fig21_sidechannel(opts: Opts) -> String {
 // Fig 22 / Fig 23 — engine microarchitecture sensitivity
 // ----------------------------------------------------------------------
 
-fn hats_speedup_with_engine(
-    opts: Opts,
-    engine: EngineConfig,
-) -> (u64, u64) {
+fn hats_speedup_with_engine(opts: Opts, engine: EngineConfig) -> (u64, u64) {
     let mut params = hats_params(opts);
     params.vertices = opts.sized(128 * 1024);
     params.edges = opts.sized(1 << 20);
@@ -444,11 +406,9 @@ fn hats_speedup_with_engine(
 /// core, ideal). Paper: dataflow vastly outperforms in-order; 5x5 is
 /// within 1.8% of ideal.
 pub fn fig22_fabric_size(opts: Opts) -> String {
-    let mut out =
-        String::from("# Fig 22: HATS speedup vs engine fabric size\n");
-    let mut configs: Vec<(String, EngineConfig)> = vec![
-        ("in-order".into(), EngineConfig::in_order_core()),
-    ];
+    let mut out = String::from("# Fig 22: HATS speedup vs engine fabric size\n");
+    let mut configs: Vec<(String, EngineConfig)> =
+        vec![("in-order".into(), EngineConfig::in_order_core())];
     for dim in [3u32, 4, 5, 6, 7] {
         configs.push((format!("{dim}x{dim}"), EngineConfig::square(dim)));
     }
@@ -457,10 +417,7 @@ pub fn fig22_fabric_size(opts: Opts) -> String {
         hats_speedup_with_engine(opts, engine)
     });
     for ((label, _), (base, tako)) in configs.iter().zip(&results) {
-        out.push_str(&row(
-            label,
-            &[("speedup", fx(*base as f64 / *tako as f64))],
-        ));
+        out.push_str(&row(label, &[("speedup", fx(*base as f64 / *tako as f64))]));
     }
     out
 }
@@ -494,8 +451,7 @@ pub fn fig24_core_uarch(opts: Opts) -> String {
     let mut params = phi_params(opts);
     params.vertices = opts.sized(512 * 1024);
     params.edges = opts.sized(2 << 20);
-    let mut out =
-        String::from("# Fig 24: PHI speedup across core microarchitectures\n");
+    let mut out = String::from("# Fig 24: PHI speedup across core microarchitectures\n");
     let uarchs = [
         ("in-order", CoreConfig::in_order()),
         ("2-wide-ooo", CoreConfig::small_ooo()),
@@ -524,9 +480,8 @@ pub fn fig24_core_uarch(opts: Opts) -> String {
 /// Fig 25: PHI scalability across core counts and graph sizes (paper:
 /// täkō outperforms update batching by ~34%/32%/21% at 8/16/36 cores).
 pub fn fig25_scalability(opts: Opts) -> String {
-    let mut out = String::from(
-        "# Fig 25: PHI speedup vs update batching across cores & graph sizes\n",
-    );
+    let mut out =
+        String::from("# Fig 25: PHI speedup vs update batching across cores & graph sizes\n");
     let mut points: Vec<(usize, usize)> = Vec::new();
     for &tiles in &[8usize, 16, 36] {
         for &scale in &[1usize, 2] {
@@ -555,10 +510,7 @@ pub fn fig25_scalability(opts: Opts) -> String {
     for ((tiles, _), (edges, vs_sw, vs_ub)) in points.iter().zip(&results) {
         out.push_str(&row(
             &format!("{tiles}c/{}Ke", edges >> 10),
-            &[
-                ("tako_vs_sw", fx(*vs_sw)),
-                ("tako_vs_ub", fx(*vs_ub)),
-            ],
+            &[("tako_vs_sw", fx(*vs_sw)), ("tako_vs_ub", fx(*vs_ub))],
         ));
     }
     out
@@ -570,17 +522,17 @@ pub fn fig25_scalability(opts: Opts) -> String {
 
 /// Table 2: hardware overhead per LLC bank.
 pub fn table2_overhead(_opts: Opts) -> String {
-    let report = tako_core::overhead::OverheadReport::for_config(
-        &SystemConfig::default_16core(),
-    );
-    format!("# Table 2: hardware overhead per LLC bank\n{}", report.table())
+    let report = tako_core::overhead::OverheadReport::for_config(&SystemConfig::default_16core());
+    format!(
+        "# Table 2: hardware overhead per LLC bank\n{}",
+        report.table()
+    )
 }
 
 /// Sec 9: callback-buffer size sweep on the NVM flush storm (paper:
 /// plateaus at 4 entries; 8 used).
 pub fn sens_callback_buffer(opts: Opts) -> String {
-    let mut out =
-        String::from("# Sec 9: NVM speedup vs callback-buffer size\n");
+    let mut out = String::from("# Sec 9: NVM speedup vs callback-buffer size\n");
     let params = nvm::Params {
         txn_bytes: 16 * 1024,
         txns: opts.sized(32) as u64,
@@ -600,10 +552,7 @@ pub fn sens_callback_buffer(opts: Opts) -> String {
     for (n, r) in entries.iter().zip(&results) {
         out.push_str(&row(
             &format!("{n}-entry"),
-            &[(
-                "speedup",
-                fx(base.run.cycles as f64 / r.run.cycles as f64),
-            )],
+            &[("speedup", fx(base.run.cycles as f64 / r.run.cycles as f64))],
         ));
     }
     out
@@ -628,16 +577,12 @@ pub fn sens_rtlb(opts: Opts) -> String {
             &format!("{n}-entry"),
             &[
                 ("cycles", r.run.cycles.to_string()),
-                (
-                    "vs_64",
-                    pct(r.run.cycles as f64 / reference as f64 - 1.0),
-                ),
+                ("vs_64", pct(r.run.cycles as f64 / reference as f64 - 1.0)),
                 (
                     "rtlb_miss_rate",
                     pct(r.run.get(Counter::RtlbMiss) as f64
-                        / (r.run.get(Counter::RtlbMiss)
-                            + r.run.get(Counter::RtlbHit))
-                            .max(1) as f64),
+                        / (r.run.get(Counter::RtlbMiss) + r.run.get(Counter::RtlbHit)).max(1)
+                            as f64),
                 ),
             ],
         ));
@@ -672,11 +617,10 @@ pub fn ablations(opts: Opts) -> String {
         ("tako-trrip", soa::Variant::Tako, false),
         ("tako-no-trrip", soa::Variant::Tako, true),
     ];
-    let soa_results =
-        run_variants(opts, &soa_points, |(_, v, no_trrip)| {
-            let c = if no_trrip { &no_trrip_cfg } else { &cfg };
-            soa::run(v, sp, c)
-        });
+    let soa_results = run_variants(opts, &soa_points, |(_, v, no_trrip)| {
+        let c = if no_trrip { &no_trrip_cfg } else { &cfg };
+        soa::run(v, sp, c)
+    });
     let aos_cycles = soa_results[0].run.cycles;
     for ((label, _, _), r) in soa_points.iter().zip(&soa_results) {
         assert_eq!(r.sum, r.expected);

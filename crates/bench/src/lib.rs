@@ -91,8 +91,7 @@ impl Opts {
                 }
                 "--jobs" => {
                     if let Some(v) = args.get(i + 1) {
-                        opts.jobs =
-                            v.parse().unwrap_or(opts.jobs).max(1);
+                        opts.jobs = v.parse().unwrap_or(opts.jobs).max(1);
                         i += 1;
                     }
                 }
@@ -190,19 +189,15 @@ pub struct ExperimentResult {
 /// experiment-level fan-out: each harness runs with `jobs = 1` inside.
 pub fn run_all(opts: Opts) -> Vec<ExperimentResult> {
     let inner = opts.serial();
-    parallel_map(
-        opts.jobs,
-        EXPERIMENTS.to_vec(),
-        move |_, (name, f)| {
-            let t0 = Instant::now();
-            let output = f(inner);
-            ExperimentResult {
-                name,
-                output,
-                wall: t0.elapsed(),
-            }
-        },
-    )
+    parallel_map(opts.jobs, EXPERIMENTS.to_vec(), move |_, (name, f)| {
+        let t0 = Instant::now();
+        let output = f(inner);
+        ExperimentResult {
+            name,
+            output,
+            wall: t0.elapsed(),
+        }
+    })
 }
 
 /// Like [`run_all`], but each harness runs behind a panic guard: a
@@ -215,22 +210,18 @@ pub fn run_all_catch(
     force_panic: Option<&str>,
 ) -> Vec<(&'static str, Result<ExperimentResult, String>)> {
     let inner = opts.serial();
-    let results = parallel_map_catch(
-        opts.jobs,
-        EXPERIMENTS.to_vec(),
-        move |_, (name, f)| {
-            if Some(name) == force_panic {
-                panic!("forced panic in {name} (--force-panic)");
-            }
-            let t0 = Instant::now();
-            let output = f(inner);
-            ExperimentResult {
-                name,
-                output,
-                wall: t0.elapsed(),
-            }
-        },
-    );
+    let results = parallel_map_catch(opts.jobs, EXPERIMENTS.to_vec(), move |_, (name, f)| {
+        if Some(name) == force_panic {
+            panic!("forced panic in {name} (--force-panic)");
+        }
+        let t0 = Instant::now();
+        let output = f(inner);
+        ExperimentResult {
+            name,
+            output,
+            wall: t0.elapsed(),
+        }
+    });
     EXPERIMENTS
         .iter()
         .zip(results)

@@ -1,0 +1,45 @@
+//! Golden-output regression pin for the full experiment suite.
+//!
+//! The staged transaction pipeline (and any future hierarchy work) is
+//! required to be *byte-identical* to the pre-refactor simulator: the
+//! walks were restructured, not retimed. This test runs every harness at
+//! the same tiny scale the determinism suite uses and pins the SHA-256
+//! of the concatenated outputs to the digest captured on the monolithic
+//! hierarchy. Any change to any byte of any experiment's output — a
+//! counter, a latency, a formatting tweak — fails here loudly.
+//!
+//! If a *deliberate* behavior or format change invalidates the digest,
+//! re-capture it by running this test and copying the "actual" digest
+//! from the failure message into `GOLDEN_SHA256`, and say why in the
+//! commit message.
+
+use tako_bench::{run_all, Opts};
+use tako_sim::digest::Sha256;
+
+/// SHA-256 of the concatenated `name` + `output` of every experiment at
+/// scale 0.01, seed 0x7AC0, captured on the pre-pipeline hierarchy.
+const GOLDEN_SHA256: &str = "21d30f2b56237fb17cbf02ef3b0815fab1ca15ea175e7acd2e123cf9fd685b27";
+
+#[test]
+fn all_experiments_match_golden_digest() {
+    let results = run_all(Opts {
+        scale: 0.01,
+        paper: false,
+        seed: 0x7AC0,
+        jobs: 1,
+    });
+    assert!(!results.is_empty(), "experiment table is empty");
+    let mut h = Sha256::new();
+    for r in &results {
+        h.update(r.name.as_bytes());
+        h.update(b"\n");
+        h.update(r.output.as_bytes());
+        h.update(b"\n");
+    }
+    let actual = h.finish_hex();
+    assert_eq!(
+        actual, GOLDEN_SHA256,
+        "experiment output diverged from the golden capture \
+         (actual digest: {actual})"
+    );
+}

@@ -88,9 +88,26 @@ impl TagEntry {
     }
 }
 
-/// What fell out of the array on an insert or invalidate.
+/// Why a line left the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictCause {
+    /// Displaced by an insert (the replacement policy chose it).
+    Capacity,
+    /// Explicitly removed ([`CacheArray::invalidate`]): coherence
+    /// shoot-down, inclusion back-invalidate, flushData, or a Morph
+    /// (un)registration range flush.
+    Invalidation,
+}
+
+/// What fell out of the array on an insert or invalidate, and why.
+///
+/// The transaction pipeline routes these to the eviction stages
+/// (`handle_l2_evict` / `handle_llc_evict` in `tako-core`), which decide
+/// between discard, writeback, and Morph callbacks from this state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvictedLine {
+pub struct EvictEvent {
+    /// Why the line left the array.
+    pub cause: EvictCause,
     /// Line-aligned address of the victim.
     pub line: Addr,
     /// The victim was dirty (needs a writeback / onWriteback).
@@ -176,7 +193,9 @@ impl CacheArray {
     #[inline]
     pub fn probe(&self, line: Addr) -> Option<&TagEntry> {
         let set = self.set_of(line);
-        self.set_slice(set).iter().find(|e| e.valid && e.line == line)
+        self.set_slice(set)
+            .iter()
+            .find(|e| e.valid && e.line == line)
     }
 
     /// Find `line` in the array, mutably.
@@ -271,8 +290,7 @@ impl CacheArray {
         }
         // trrîp deadlock avoidance (Sec 5.2): a Morph line may never
         // consume the set's last callback-free way (invalid or plain).
-        if repl == ReplPolicy::Trrip && inserting_morph && callback_free <= 1
-        {
+        if repl == ReplPolicy::Trrip && inserting_morph && callback_free <= 1 {
             if let Some(w) = morph_way {
                 return w;
             }
@@ -307,19 +325,17 @@ impl CacheArray {
         morph: bool,
         kind: InsertKind,
         ready_at: Cycle,
-    ) -> Option<EvictedLine> {
+    ) -> Option<EvictEvent> {
         debug_assert_eq!(line % LINE_BYTES, 0, "insert of unaligned line");
-        debug_assert!(
-            self.probe(line).is_none(),
-            "insert of already-present line"
-        );
+        debug_assert!(self.probe(line).is_none(), "insert of already-present line");
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_of(line);
         let way = self.victim(set, morph);
         let repl = self.cfg.repl;
         let e = &mut self.set_slice_mut(set)[way];
-        let evicted = e.valid.then_some(EvictedLine {
+        let evicted = e.valid.then_some(EvictEvent {
+            cause: EvictCause::Capacity,
             line: e.line,
             dirty: e.dirty,
             morph: e.morph,
@@ -349,13 +365,14 @@ impl CacheArray {
 
     /// Remove `line` if present, returning its eviction record.
     #[inline]
-    pub fn invalidate(&mut self, line: Addr) -> Option<EvictedLine> {
+    pub fn invalidate(&mut self, line: Addr) -> Option<EvictEvent> {
         let set = self.set_of(line);
         let e = self
             .set_slice_mut(set)
             .iter_mut()
             .find(|e| e.valid && e.line == line)?;
-        let ev = EvictedLine {
+        let ev = EvictEvent {
+            cause: EvictCause::Invalidation,
             line: e.line,
             dirty: e.dirty,
             morph: e.morph,
@@ -386,11 +403,7 @@ impl CacheArray {
     /// entirely of Morph-registered valid lines. (Vacuously true for sets
     /// with an invalid way.)
     pub fn morph_invariant_holds(&self) -> bool {
-        (0..self.sets).all(|s| {
-            self.set_slice(s)
-                .iter()
-                .any(|e| !e.valid || !e.morph)
-        })
+        (0..self.sets).all(|s| self.set_slice(s).iter().any(|e| !e.valid || !e.morph))
     }
 
     /// Iterate over all valid entries.
@@ -423,7 +436,9 @@ mod tests {
     #[test]
     fn insert_probe_touch() {
         let mut a = tiny(ReplPolicy::Lru);
-        assert!(a.insert(line(0, 0), false, false, InsertKind::Demand, 0).is_none());
+        assert!(a
+            .insert(line(0, 0), false, false, InsertKind::Demand, 0)
+            .is_none());
         assert!(a.probe(line(0, 0)).is_some());
         assert!(a.touch(line(0, 0)));
         assert!(!a.touch(line(1, 0)));
@@ -441,6 +456,7 @@ mod tests {
             .expect("eviction");
         assert_eq!(ev.line, line(0, 1));
         assert!(ev.dirty);
+        assert_eq!(ev.cause, EvictCause::Capacity);
     }
 
     #[test]
@@ -489,6 +505,7 @@ mod tests {
         a.insert(line(2, 0), true, true, InsertKind::Demand, 0);
         let ev = a.invalidate(line(2, 0)).expect("present");
         assert!(ev.dirty && ev.morph);
+        assert_eq!(ev.cause, EvictCause::Invalidation);
         assert!(a.probe(line(2, 0)).is_none());
         assert!(a.invalidate(line(2, 0)).is_none());
     }
@@ -573,9 +590,7 @@ mod tests {
                 if a.probe(other).is_some() {
                     continue;
                 }
-                if let Some(ev) =
-                    a.insert(other, false, false, InsertKind::Demand, 0)
-                {
+                if let Some(ev) = a.insert(other, false, false, InsertKind::Demand, 0) {
                     if ev.line == addr {
                         assert!(ev.dirty);
                         seen_dirty = true;

@@ -199,10 +199,7 @@ mod tests {
     fn fill_to_capacity_then_drain_frees() {
         let mut m = MshrFile::new(4);
         for i in 0..4u64 {
-            assert_eq!(
-                m.try_alloc(i * 64, 100 + i, false),
-                MshrOutcome::Primary
-            );
+            assert_eq!(m.try_alloc(i * 64, 100 + i, false), MshrOutcome::Primary);
         }
         assert_eq!(m.len(), m.capacity());
         assert!(!m.can_alloc(false));

@@ -134,9 +134,7 @@ impl StridePrefetcher {
         };
         if self.streams.len() < TABLE_SLOTS {
             self.streams.push(s);
-        } else if let Some(victim) =
-            self.streams.iter_mut().min_by_key(|s| s.lru)
-        {
+        } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
             *victim = s;
         }
         batch

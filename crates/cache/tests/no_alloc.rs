@@ -27,12 +27,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.dealloc(ptr, layout)
     }
 
-    unsafe fn realloc(
-        &self,
-        ptr: *mut u8,
-        layout: Layout,
-        new_size: usize,
-    ) -> *mut u8 {
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
@@ -74,13 +69,7 @@ fn hot_path_is_allocation_free() {
             for k in 0..4096u64 {
                 let line = (k % 3072) * LINE_BYTES;
                 if a.lookup(line).is_none() {
-                    a.insert(
-                        line,
-                        k % 2 == 0,
-                        k % 7 == 0,
-                        InsertKind::Demand,
-                        k,
-                    );
+                    a.insert(line, k % 2 == 0, k % 7 == 0, InsertKind::Demand, k);
                 }
                 a.probe(line);
                 a.probe_mut(line);
@@ -90,6 +79,57 @@ fn hot_path_is_allocation_free() {
         });
         assert_eq!(n, 0, "hot path allocated under {repl:?}");
     }
+}
+
+/// The staged-pipeline vocabulary on top of the arrays — building a
+/// [`MemTxn`], serving it through [`CachePort`]/[`DramEdge`], and
+/// emitting accounting on the [`AccountingBus`] — must be as
+/// allocation-free as the raw tag walks it wraps.
+#[test]
+fn txn_pipeline_hot_path_is_allocation_free() {
+    use tako_core::hierarchy::{CachePort, DramEdge, LevelPort, MemTxn};
+    use tako_mem::dram::Dram;
+    use tako_sim::config::SystemConfig;
+    use tako_sim::event::{AccountingBus, LevelId, TxnEvent, TxnSink};
+    use tako_sim::fault::{FaultInjector, FaultKind};
+
+    let cfg = SystemConfig::default_16core();
+    let mut a = array(ReplPolicy::Trrip);
+    let mut dram = Dram::new(cfg.mem);
+    let mut bus = AccountingBus::new(FaultInjector::new(None));
+    // Warm the array past capacity so lookups hit both outcomes.
+    for k in 0..2048u64 {
+        let line = k * LINE_BYTES;
+        if a.probe(line).is_none() {
+            a.insert(line, k % 3 == 0, false, InsertKind::Demand, 0);
+        }
+    }
+    let n = allocs_in(|| {
+        for k in 0..4096u64 {
+            let line = (k % 3072) * LINE_BYTES;
+            let mut txn = MemTxn::prefetch(0, line, k);
+            txn.stamps.l2 = Some(k);
+            let mut port = CachePort::new(&mut a, LevelId::Llc);
+            if port.lookup_counted(line, &mut bus).is_none() {
+                txn.stamps.fill = DramEdge::new(&mut dram).serve(line, k, &mut bus);
+                a.insert(line, txn.is_write(), false, txn.fill_kind, k);
+            }
+            let t1 = txn.stamps.fill.or(txn.stamps.l2).unwrap_or(k);
+            let mut port = CachePort::new(&mut a, LevelId::Llc);
+            port.serve(line, t1, &mut bus);
+            let done = txn.retire(t1);
+            bus.emit(TxnEvent::Hit(LevelId::L1d));
+            bus.emit(TxnEvent::CoherenceInval);
+            bus.emit(TxnEvent::NocHops { flits: 9, hops: 2 });
+            bus.emit(TxnEvent::EngineWork {
+                instrs: 3,
+                mem_ops: 1,
+            });
+            bus.poll_fault(done, FaultKind::DelayedDram);
+        }
+    });
+    assert_eq!(n, 0, "MemTxn/TxnSink pipeline hot path allocated");
+    assert!(bus.stats.get(tako_sim::stats::Counter::DramRead) > 0);
 }
 
 #[test]

@@ -105,7 +105,7 @@ impl<'a> EngineCtx<'a> {
     /// Record the callback's first illegal action; subsequent ones only
     /// count (the first is what the quarantine reports).
     fn note_violation(&mut self, msg: impl FnOnce() -> String) {
-        self.hier.stats.bump(Counter::CbIllegalOp);
+        self.hier.bus.stats.bump(Counter::CbIllegalOp);
         if self.violation.is_none() {
             self.violation = Some(format!(
                 "{} ({} fabric instrs in)",
@@ -201,21 +201,14 @@ impl<'a> EngineCtx<'a> {
         let max = LINE_BYTES as usize - width.min(LINE_BYTES as usize);
         if offset > max {
             self.note_violation(|| {
-                format!(
-                    "line access out of bounds: offset {offset} width {width}"
-                )
+                format!("line access out of bounds: offset {offset} width {width}")
             });
             return max;
         }
         offset
     }
 
-    fn line_op(
-        &mut self,
-        offset: usize,
-        width: usize,
-        deps: &[Val],
-    ) -> (usize, Val) {
+    fn line_op(&mut self, offset: usize, width: usize, deps: &[Val]) -> (usize, Val) {
         let offset = self.clamp_line_offset(offset, width);
         let fire = self.trace.mem_fire(deps);
         let done = fire + self.host_line_latency();
@@ -235,24 +228,14 @@ impl<'a> EngineCtx<'a> {
     }
 
     /// Write a `u64` into the locked line at byte `offset`.
-    pub fn line_write_u64(
-        &mut self,
-        offset: usize,
-        val: u64,
-        deps: &[Val],
-    ) -> Val {
+    pub fn line_write_u64(&mut self, offset: usize, val: u64, deps: &[Val]) -> Val {
         let (offset, v) = self.line_op(offset, 8, deps);
         self.hier.mem.write_u64(self.line + offset as u64, val);
         v
     }
 
     /// Write an `f64` into the locked line at byte `offset`.
-    pub fn line_write_f64(
-        &mut self,
-        offset: usize,
-        val: f64,
-        deps: &[Val],
-    ) -> Val {
+    pub fn line_write_f64(&mut self, offset: usize, val: f64, deps: &[Val]) -> Val {
         let (offset, v) = self.line_op(offset, 8, deps);
         self.hier.mem.write_f64(self.line + offset as u64, val);
         v
@@ -314,16 +297,12 @@ impl<'a> EngineCtx<'a> {
     fn check_restriction(&mut self, addr: Addr) -> bool {
         let reason = match self.hier.registry.lookup(addr) {
             None => return true,
-            Some((id, _)) if id == self.morph_id => {
-                "callback accessed its own Morph range"
-            }
+            Some((id, _)) if id == self.morph_id => "callback accessed its own Morph range",
             Some((_, MorphLevel::Private)) => {
                 "callback accessed data with a PRIVATE Morph \
                  (Sec 4.3 restriction: same/higher level)"
             }
-            Some((_, MorphLevel::Shared))
-                if self.level == MorphLevel::Shared =>
-            {
+            Some((_, MorphLevel::Shared)) if self.level == MorphLevel::Shared => {
                 "SHARED callback accessed SHARED Morph data \
                  (Sec 4.3 restriction)"
             }
@@ -348,7 +327,7 @@ impl<'a> EngineCtx<'a> {
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(e) = self.l1d.probe_mut(line) {
-            self.hier.stats.bump(Counter::EngineL1Hit);
+            self.hier.bus.stats.bump(Counter::EngineL1Hit);
             let done = (fire + 1).max(e.ready_at);
             if write {
                 e.dirty = true;
@@ -356,12 +335,13 @@ impl<'a> EngineCtx<'a> {
             self.l1d.touch(line);
             return self.trace.mem_complete(done);
         }
-        self.hier.stats.bump(Counter::EngineL1Miss);
-        let done =
-            self.hier
-                .engine_fill(self.tile, write, line, fire + 1, self.level);
-        if let Some(ev) =
-            self.l1d.insert(line, write, false, InsertKind::Demand, done)
+        self.hier.bus.stats.bump(Counter::EngineL1Miss);
+        let done = self
+            .hier
+            .engine_fill(self.tile, write, line, fire + 1, self.level);
+        if let Some(ev) = self
+            .l1d
+            .insert(line, write, false, InsertKind::Demand, done)
         {
             if ev.dirty {
                 self.hier.engine_writeback(self.tile, ev.line, done);
@@ -384,15 +364,16 @@ impl<'a> EngineCtx<'a> {
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(e) = self.l1d.probe_mut(line) {
-            self.hier.stats.bump(Counter::EngineL1Hit);
+            self.hier.bus.stats.bump(Counter::EngineL1Hit);
             let done = (fire + 1).max(e.ready_at);
             self.l1d.touch(line);
             return self.trace.mem_complete(done);
         }
-        self.hier.stats.bump(Counter::EngineL1Miss);
+        self.hier.bus.stats.bump(Counter::EngineL1Miss);
         let done = self.hier.fetch_stream(self.tile, line, fire + 1);
-        if let Some(ev) =
-            self.l1d.insert(line, false, false, InsertKind::Engine, done)
+        if let Some(ev) = self
+            .l1d
+            .insert(line, false, false, InsertKind::Engine, done)
         {
             if ev.dirty {
                 self.hier.engine_writeback(self.tile, ev.line, done);
@@ -426,12 +407,13 @@ impl<'a> EngineCtx<'a> {
             return;
         }
         let fire = self.trace.mem_fire(&[]);
-        self.hier.stats.bump(Counter::EngineL1Miss);
-        let done =
-            self.hier
-                .engine_fill(self.tile, false, line, fire + 1, self.level);
-        if let Some(ev) =
-            self.l1d.insert(line, false, false, InsertKind::Prefetch, done)
+        self.hier.bus.stats.bump(Counter::EngineL1Miss);
+        let done = self
+            .hier
+            .engine_fill(self.tile, false, line, fire + 1, self.level);
+        if let Some(ev) = self
+            .l1d
+            .insert(line, false, false, InsertKind::Prefetch, done)
         {
             if ev.dirty {
                 self.hier.engine_writeback(self.tile, ev.line, done);
@@ -485,24 +467,14 @@ impl<'a> EngineCtx<'a> {
 
     /// Streaming (non-allocating) store of a `u64`; see
     /// [`EngineCtx::store_u64`] for the allocating variant.
-    pub fn store_stream_u64(
-        &mut self,
-        addr: Addr,
-        val: u64,
-        deps: &[Val],
-    ) -> Val {
+    pub fn store_stream_u64(&mut self, addr: Addr, val: u64, deps: &[Val]) -> Val {
         let v = self.engine_mem_stream(addr, deps);
         self.hier.mem.write_u64(addr, val);
         v
     }
 
     /// Streaming (non-allocating) store of an `f64`.
-    pub fn store_stream_f64(
-        &mut self,
-        addr: Addr,
-        val: f64,
-        deps: &[Val],
-    ) -> Val {
+    pub fn store_stream_f64(&mut self, addr: Addr, val: f64, deps: &[Val]) -> Val {
         let v = self.engine_mem_stream(addr, deps);
         self.hier.mem.write_f64(addr, val);
         v
@@ -532,17 +504,13 @@ impl<'a> EngineCtx<'a> {
     /// Copy `len` bytes of the locked line (starting at `offset`) to
     /// `dst` in memory — the NVM study's data-copy primitive. One line op
     /// plus one store per destination line touched.
-    pub fn copy_line_out(
-        &mut self,
-        offset: usize,
-        dst: Addr,
-        len: usize,
-        deps: &[Val],
-    ) -> Val {
+    pub fn copy_line_out(&mut self, offset: usize, dst: Addr, len: usize, deps: &[Val]) -> Val {
         let len = len.min(LINE_BYTES as usize);
         let (offset, read) = self.line_op(offset, len, deps);
         let mut buf = vec![0u8; len];
-        self.hier.mem.read_bytes(self.line + offset as u64, &mut buf);
+        self.hier
+            .mem
+            .read_bytes(self.line + offset as u64, &mut buf);
         let mut last = read;
         for dl in AddrRange::new(dst, len as u64).lines() {
             last = self.engine_mem_stream(dl.max(dst), &[read]);
@@ -556,7 +524,7 @@ impl<'a> EngineCtx<'a> {
     /// Raise a user-space interrupt to the Morph's registering thread
     /// (Sec 8.4's defense mechanism).
     pub fn raise_interrupt(&mut self) {
-        self.hier.stats.bump(Counter::UserInterrupt);
+        self.hier.bus.stats.bump(Counter::UserInterrupt);
         let cycle = self.start();
         let interrupt = Interrupt {
             tile: self.home_tile,
@@ -575,6 +543,6 @@ impl<'a> EngineCtx<'a> {
     /// The statistics registry (for application-level counters such as
     /// [`Counter::Decompression`]).
     pub fn stats(&mut self) -> &mut Stats {
-        &mut self.hier.stats
+        &mut self.hier.bus.stats
     }
 }

@@ -71,9 +71,7 @@ impl Rtlb {
             return true;
         }
         if self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) =
-                self.entries.iter().min_by_key(|(_, &s)| s)
-            {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, &s)| s) {
                 self.entries.remove(&victim);
             }
         }
@@ -209,7 +207,9 @@ impl Engine {
                 .or_insert(completion);
         }
         self.callbacks_run += 1;
-        stats.callback_latency.record(completion.saturating_sub(start));
+        stats
+            .callback_latency
+            .record(completion.saturating_sub(start));
         if self.line_locks.len() > 8192 {
             let horizon = start;
             self.line_locks.retain(|_, &mut c| c > horizon);

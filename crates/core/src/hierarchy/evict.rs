@@ -1,0 +1,185 @@
+//! Eviction stages: what happens when a line leaves a level (Table 1).
+//!
+//! Both eviction chains ([`Hierarchy::handle_l2_evict`] at the private
+//! level, [`Hierarchy::handle_llc_evict`] at the shared level) and the
+//! flushData walks compose the same three stages: merge private copies
+//! (`coherence.rs`), dispatch the Morph's eviction-side callback through
+//! [`Hierarchy::eviction_callback`] — *off the critical path* of the
+//! evicting access — and then write back or discard the victim. The
+//! structured [`EvictEvent`] from `tako-cache` carries the victim's
+//! full directory state (dirty, Morph bit, sharers) into these stages.
+
+use tako_cache::EvictEvent;
+use tako_mem::addr::{is_phantom, Addr, AddrRange};
+use tako_sim::event::{LevelId, TxnEvent, TxnSink};
+use tako_sim::{Cycle, TileId};
+
+use super::coherence::PrivateScope;
+use super::Hierarchy;
+use crate::morph::{CallbackKind, MorphLevel};
+
+impl Hierarchy {
+    /// Run the eviction-side callback for `line` if a Morph (of `level`,
+    /// when given) covers it: `onWriteback` when the merged state is
+    /// dirty, `onEviction` otherwise. Returns the callback's completion
+    /// cycle, or `None` if no callback applied.
+    fn eviction_callback(
+        &mut self,
+        engine_tile: TileId,
+        line: Addr,
+        dirty: bool,
+        level: Option<MorphLevel>,
+        t: Cycle,
+    ) -> Option<Cycle> {
+        let id = match (self.registry.lookup(line), level) {
+            (Some((id, l)), Some(want)) if l == want => id,
+            (Some((id, _)), None) => id,
+            _ => return None,
+        };
+        let kind = if dirty {
+            CallbackKind::OnWriteback
+        } else {
+            CallbackKind::OnEviction
+        };
+        Some(self.run_callback(engine_tile, id, kind, line, t))
+    }
+
+    /// Handle an LLC bank eviction: inclusive invalidation of private
+    /// copies, SHARED-Morph callbacks, and the writeback (Table 1).
+    pub(super) fn handle_llc_evict(&mut self, bank: usize, ev: EvictEvent, t: Cycle) {
+        self.bus.emit(TxnEvent::Eviction(LevelId::Llc));
+        let mut dirty = ev.dirty;
+        for s in Self::sharer_tiles(ev.sharers) {
+            self.bus.emit(TxnEvent::CoherenceInval);
+            dirty |= self.merge_private_dirty(s, ev.line, PrivateScope::L1AndL2);
+        }
+        if ev.morph {
+            // Off the critical path: the evicting access proceeds. Any
+            // Morph level applies — a PRIVATE Morph's line can reach the
+            // LLC through writebacks.
+            self.eviction_callback(bank, ev.line, dirty, None, t);
+            if is_phantom(ev.line) {
+                return; // phantom lines are discarded after the callback
+            }
+        }
+        if dirty {
+            self.bus.emit(TxnEvent::Writeback(LevelId::Llc));
+            self.dram.write_line(ev.line, t, &mut self.bus);
+        }
+    }
+
+    /// Handle an L2 eviction: merge the L1 copy, run PRIVATE-Morph
+    /// callbacks, then write back or discard.
+    pub(super) fn handle_l2_evict(&mut self, tile: TileId, ev: EvictEvent, t: Cycle) {
+        self.bus.emit(TxnEvent::Eviction(LevelId::L2));
+        let mut dirty = ev.dirty;
+        dirty |= self.merge_private_dirty(tile, ev.line, PrivateScope::L1Only);
+        if ev.morph {
+            self.eviction_callback(tile, ev.line, dirty, Some(MorphLevel::Private), t);
+            if is_phantom(ev.line) {
+                return; // discarded, never written downward
+            }
+        }
+        if is_phantom(ev.line) {
+            // SHARED-Morph phantom line cached privately.
+            if dirty {
+                self.writeback_to_llc(tile, ev.line, t);
+            }
+            return;
+        }
+        if dirty {
+            self.bus.emit(TxnEvent::Writeback(LevelId::L2));
+            self.writeback_to_llc(tile, ev.line, t);
+        } else {
+            // Silent clean eviction: lazily clear the directory bit.
+            let bank = self.mesh.bank_of_line(ev.line);
+            if let Some(e) = self.llc[bank].probe_mut(ev.line) {
+                e.sharers &= !(1u64 << tile);
+            }
+        }
+    }
+
+    /// A line invalidated out of an LLC bank by a flushData walk:
+    /// merge private copies, run the SHARED-Morph callback, write back.
+    /// Unlike capacity evictions this charges no coherence-invalidation
+    /// events — the flush is the requester's own traffic.
+    pub(super) fn flush_llc_victim(&mut self, bank: usize, ev: EvictEvent, t: Cycle) -> Cycle {
+        let mut dirty = ev.dirty;
+        for s in Self::sharer_tiles(ev.sharers) {
+            dirty |= self.merge_private_dirty(s, ev.line, PrivateScope::L1AndL2);
+        }
+        let mut completion = t;
+        if ev.morph {
+            if let Some(c) =
+                self.eviction_callback(bank, ev.line, dirty, Some(MorphLevel::Shared), t)
+            {
+                completion = c;
+            }
+            if is_phantom(ev.line) {
+                return completion;
+            }
+        }
+        if dirty {
+            self.bus.emit(TxnEvent::Writeback(LevelId::Llc));
+            self.dram.write_line(ev.line, t, &mut self.bus);
+        }
+        completion
+    }
+
+    /// täkō's flushData (Sec 4.4): walk the tag arrays at the appropriate
+    /// level, evict every line in `range` (triggering callbacks), and
+    /// return the cycle all callbacks complete.
+    pub fn flush_range(&mut self, tile: TileId, range: AddrRange, now: Cycle) -> Cycle {
+        let level = self.registry.lookup(range.base).map(|(_, l)| l);
+        let mut completion = now;
+        match level {
+            Some(MorphLevel::Shared) => {
+                for bank in 0..self.llc.len() {
+                    let lines = self.llc[bank].lines_in_range(range);
+                    let mut t = now;
+                    for line in lines {
+                        t += 1; // tag-walk increment
+                        self.bus.emit(TxnEvent::FlushedLine);
+                        if let Some(ev) = self.llc[bank].invalidate(line) {
+                            let c = self.flush_llc_victim(bank, ev, t);
+                            completion = completion.max(c);
+                        }
+                    }
+                    completion = completion.max(t);
+                }
+            }
+            _ => {
+                let lines = self.tiles[tile].l2.lines_in_range(range);
+                let mut t = now;
+                for line in lines {
+                    t += 1;
+                    self.bus.emit(TxnEvent::FlushedLine);
+                    let mut dirty = self.merge_private_dirty(tile, line, PrivateScope::L1Only);
+                    if let Some(ev) = self.tiles[tile].l2.invalidate(line) {
+                        dirty |= ev.dirty;
+                        if ev.morph {
+                            if let Some(c) = self.eviction_callback(
+                                tile,
+                                line,
+                                dirty,
+                                Some(MorphLevel::Private),
+                                t,
+                            ) {
+                                completion = completion.max(c);
+                            }
+                            if is_phantom(line) {
+                                continue;
+                            }
+                        }
+                        if dirty && !is_phantom(line) {
+                            self.bus.emit(TxnEvent::Writeback(LevelId::L2));
+                            self.writeback_to_llc(tile, line, t);
+                        }
+                    }
+                }
+                completion = completion.max(t);
+            }
+        }
+        completion
+    }
+}

@@ -1,0 +1,64 @@
+//! Prefetch stages: stride training and prefetch issue into the L2.
+//!
+//! Training happens at the tail of every non-streaming core access
+//! ([`Hierarchy::train_prefetcher`]); each issued prefetch is a
+//! [`MemTxn`] of kind [`TxnKind::Prefetch`](super::TxnKind::Prefetch)
+//! that runs the same `fetch_shared` stage demand misses use — with a
+//! distant insertion priority, and triggering `onMiss` for PRIVATE
+//! Morphs, which is exactly the HATS decoupling mechanism (Sec 8.2).
+
+use tako_cache::array::InsertKind;
+use tako_mem::addr::{is_phantom, Addr};
+use tako_sim::event::{TxnEvent, TxnSink};
+use tako_sim::{Cycle, TileId};
+
+use super::txn::MemTxn;
+use super::Hierarchy;
+use crate::morph::{CallbackKind, MorphLevel};
+
+impl Hierarchy {
+    /// Train the stride prefetcher on a demand access and issue whatever
+    /// it predicts.
+    pub(super) fn train_prefetcher(&mut self, tile: TileId, addr: Addr, t: Cycle) {
+        let pf = self.tiles[tile].prefetcher.observe(addr);
+        for &p in pf.as_slice() {
+            self.issue_prefetch(tile, p, t);
+        }
+    }
+
+    /// Issue one prefetch into `tile`'s L2 (may trigger onMiss for a
+    /// PRIVATE Morph — the HATS decoupling mechanism).
+    pub(super) fn issue_prefetch(&mut self, tile: TileId, line: Addr, t: Cycle) {
+        if self.tiles[tile].l2.probe(line).is_some() || self.tiles[tile].l1d.probe(line).is_some() {
+            return;
+        }
+        self.bus.emit(TxnEvent::PrefetchIssued);
+        let morph = self.registry.lookup(line);
+        let (ready, is_morph) = match morph {
+            Some((id, MorphLevel::Private)) => {
+                if is_phantom(line) {
+                    self.zero_line(line);
+                    let cb = self.run_callback(tile, id, CallbackKind::OnMiss, line, t);
+                    (cb, true)
+                } else {
+                    let mut txn = MemTxn::prefetch(tile, line, t);
+                    let (fetch, _, _) = self.fetch_shared(&mut txn, t);
+                    let cb = self.run_callback(tile, id, CallbackKind::OnMiss, line, t);
+                    (fetch.max(cb), true)
+                }
+            }
+            _ => {
+                let mut txn = MemTxn::prefetch(tile, line, t);
+                let (fetch, _, _) = self.fetch_shared(&mut txn, t);
+                (fetch, false)
+            }
+        };
+        if let Some(ev) =
+            self.tiles[tile]
+                .l2
+                .insert(line, false, is_morph, InsertKind::Prefetch, ready)
+        {
+            self.handle_l2_evict(tile, ev, t);
+        }
+    }
+}

@@ -207,11 +207,7 @@ impl MorphRegistry {
     /// Quarantine a Morph after a callback fault. Returns true the
     /// first time (so the caller counts each Morph once); the first
     /// reason sticks.
-    pub(crate) fn quarantine(
-        &mut self,
-        id: MorphId,
-        reason: impl Into<String>,
-    ) -> bool {
+    pub(crate) fn quarantine(&mut self, id: MorphId, reason: impl Into<String>) -> bool {
         match self.entries.get_mut(id) {
             Some(Some(e)) if e.quarantined.is_none() => {
                 e.quarantined = Some(reason.into());
@@ -227,12 +223,11 @@ impl MorphRegistry {
     }
 
     /// All quarantined Morphs, as `(id, reason)`.
-    pub fn quarantined_morphs(
-        &self,
-    ) -> impl Iterator<Item = (MorphId, &str)> + '_ {
-        self.entries.iter().enumerate().filter_map(|(i, e)| {
-            Some((i, e.as_ref()?.quarantined.as_deref()?))
-        })
+    pub fn quarantined_morphs(&self) -> impl Iterator<Item = (MorphId, &str)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| Some((i, e.as_ref()?.quarantined.as_deref()?)))
     }
 
     /// Number of live registrations.

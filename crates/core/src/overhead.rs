@@ -41,9 +41,7 @@ impl OverheadReport {
             engine_tlb_bytes: tlb_bytes,
             engine_rtlb_bytes: tlb_bytes,
             callback_buffer_bytes: u64::from(e.callback_buffer) * LINE_BYTES,
-            token_store_bytes: u64::from(e.total_pes())
-                * u64::from(e.tokens_per_pe)
-                * LINE_BYTES,
+            token_store_bytes: u64::from(e.total_pes()) * u64::from(e.tokens_per_pe) * LINE_BYTES,
             instruction_memory_bytes: u64::from(e.instr_capacity()) * 4,
             llc_bank_bytes: cfg.llc_bank.size_bytes,
         }

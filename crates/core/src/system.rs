@@ -59,9 +59,7 @@ impl TakoSystem {
         if let Some((latency, bound)) = self.hier.watchdog.stall() {
             return Err(TakoError::WatchdogStall { latency, bound });
         }
-        if let Some((morph, reason)) =
-            self.hier.registry.quarantined_morphs().next()
-        {
+        if let Some((morph, reason)) = self.hier.registry.quarantined_morphs().next() {
             return Err(TakoError::CallbackQuarantined {
                 morph,
                 reason: reason.to_string(),
@@ -284,23 +282,18 @@ impl TakoSystem {
 
     /// Statistics (immutable view).
     pub fn stats_view(&self) -> &Stats {
-        &self.hier.stats
+        &self.hier.bus.stats
     }
 
     /// Dynamic energy of everything simulated so far.
     pub fn energy(&self) -> EnergyBreakdown {
-        self.energy.tally(&self.hier.stats)
+        self.energy.tally(&self.hier.bus.stats)
     }
 
     /// Functional read of a `u64` *with timing*, as a one-off core access
     /// from `tile` at cycle `now` (useful in tests and docs). Returns the
     /// value and the completion cycle.
-    pub fn debug_read_u64(
-        &mut self,
-        tile: TileId,
-        addr: Addr,
-        now: Cycle,
-    ) -> (u64, Cycle) {
+    pub fn debug_read_u64(&mut self, tile: TileId, addr: Addr, now: Cycle) -> (u64, Cycle) {
         let done = self.hier.core_access(tile, AccessKind::Read, addr, now);
         (self.hier.mem.read_u64(addr), done)
     }
@@ -311,45 +304,26 @@ impl MemSystem for TakoSystem {
         &mut self.hier.mem
     }
 
-    fn timed_access(
-        &mut self,
-        tile: TileId,
-        kind: AccessKind,
-        addr: Addr,
-        now: Cycle,
-    ) -> Cycle {
+    fn timed_access(&mut self, tile: TileId, kind: AccessKind, addr: Addr, now: Cycle) -> Cycle {
         self.hier.core_access(tile, kind, addr, now)
     }
 
-    fn timed_flush(
-        &mut self,
-        tile: TileId,
-        range: AddrRange,
-        now: Cycle,
-    ) -> Cycle {
+    fn timed_flush(&mut self, tile: TileId, range: AddrRange, now: Cycle) -> Cycle {
         self.hier.flush_range(tile, range, now)
     }
 
+    #[inline]
     fn stats(&mut self) -> &mut Stats {
-        &mut self.hier.stats
+        &mut self.hier.bus.stats
     }
 
-    fn timed_demote(
-        &mut self,
-        tile: TileId,
-        addr: Addr,
-        now: Cycle,
-    ) -> Cycle {
+    fn timed_demote(&mut self, tile: TileId, addr: Addr, now: Cycle) -> Cycle {
         self.hier.demote_line(tile, addr);
         now
     }
 
     fn take_interrupt(&mut self, tile: TileId) -> Option<Cycle> {
-        let pos = self
-            .hier
-            .interrupts
-            .iter()
-            .position(|i| i.tile == tile)?;
+        let pos = self.hier.interrupts.iter().position(|i| i.tile == tile)?;
         Some(self.hier.interrupts.remove(pos).cycle)
     }
 }

@@ -155,23 +155,12 @@ impl Watchdog {
     /// (instructions, DRAM accesses, memory accesses, tallied energy):
     /// the simulator only ever adds to them, so a decrease means state
     /// corruption.
-    pub fn check_progress(
-        &mut self,
-        instrs: u64,
-        dram: u64,
-        accesses: u64,
-        energy_pj: u64,
-    ) {
+    pub fn check_progress(&mut self, instrs: u64, dram: u64, accesses: u64, energy_pj: u64) {
         let cur = [instrs, dram, accesses, energy_pj];
         if let Some(prev) = self.prev_progress {
-            self.check(
-                cur.iter().zip(prev.iter()).all(|(c, p)| c >= p),
-                || {
-                    format!(
-                        "progress counters regressed: {prev:?} -> {cur:?}"
-                    )
-                },
-            );
+            self.check(cur.iter().zip(prev.iter()).all(|(c, p)| c >= p), || {
+                format!("progress counters regressed: {prev:?} -> {cur:?}")
+            });
         }
         self.prev_progress = Some(cur);
     }
@@ -180,11 +169,7 @@ impl Watchdog {
     /// exceeded the stall bound (the caller records the stall and, on
     /// the first one, attaches a snapshot). A `done < start` pair is a
     /// cycle-monotonicity violation and is recorded here directly.
-    pub fn observe_access(
-        &mut self,
-        start: Cycle,
-        done: Cycle,
-    ) -> Option<Cycle> {
+    pub fn observe_access(&mut self, start: Cycle, done: Cycle) -> Option<Cycle> {
         if !self.cfg.enabled {
             return None;
         }

@@ -103,11 +103,10 @@ fn phantom_miss_runs_onmiss_then_hits() {
     let (v2, _) = s.debug_read_u64(0, h.range().base + 24, 10_000);
     assert_eq!(v2, 42);
     assert_eq!(s.stats_view().get(Counter::CbOnMiss), 1);
-    let misses =
-        s.with_morph(h, |m| {
-            // Downcast via name — the object is ours.
-            m.name().to_string()
-        });
+    let misses = s.with_morph(h, |m| {
+        // Downcast via name — the object is ours.
+        m.name().to_string()
+    });
     assert_eq!(misses.as_deref(), Some("counting"));
 }
 
@@ -181,11 +180,7 @@ fn flush_data_writes_back_all_dirty_lines() {
 fn rmo_on_shared_phantom_executes_at_llc() {
     let mut s = sys();
     let h = s
-        .register_phantom(
-            MorphLevel::Shared,
-            4096,
-            Box::new(CountingMorph::default()),
-        )
+        .register_phantom(MorphLevel::Shared, 4096, Box::new(CountingMorph::default()))
         .expect("register");
     let base = h.range().base;
     let done = s.timed_access(3, AccessKind::Rmo, base, 0);
@@ -228,23 +223,16 @@ fn real_morph_preserves_data_and_detects_eviction() {
     let (v, _) = s.debug_read_u64(2, secure.base, 0);
     assert_eq!(v, 0xAE5);
     assert_eq!(s.stats_view().get(Counter::CbOnMiss), 1); // ran in parallel
-    // Force the LLC set to evict the secure line: hammer conflicting
-    // lines (same bank, same set). LLC set index uses line/64 % 512,
-    // bank uses line/64 % 16.
+                                                          // Force the LLC set to evict the secure line: hammer conflicting
+                                                          // lines (same bank, same set). LLC set index uses line/64 % 512,
+                                                          // bank uses line/64 % 16.
     let llc_period = 16 * 512 * LINE_BYTES; // lines mapping to same bank+set
     let attacker = s.alloc_real(64 * llc_period);
-    let first_conflict =
-        attacker.base + (secure.base % llc_period + llc_period
-            - attacker.base % llc_period)
-            % llc_period;
+    let first_conflict = attacker.base
+        + (secure.base % llc_period + llc_period - attacker.base % llc_period) % llc_period;
     let mut t = 1_000_000;
     for w in 0..32u64 {
-        t = s.timed_access(
-            9,
-            AccessKind::Read,
-            first_conflict + w * llc_period,
-            t,
-        );
+        t = s.timed_access(9, AccessKind::Read, first_conflict + w * llc_period, t);
     }
     let ints = s.take_interrupts();
     assert!(
@@ -406,11 +394,7 @@ fn shared_callback_touching_private_morph_is_quarantined() {
     let st = s.stats_view();
     assert_eq!(st.get(Counter::CbIllegalOp), 1);
     assert_eq!(st.get(Counter::MorphQuarantined), 1);
-    assert!(s
-        .hierarchy()
-        .registry
-        .quarantined(shared.id())
-        .is_some());
+    assert!(s.hierarchy().registry.quarantined(shared.id()).is_some());
     match s.health() {
         Err(TakoError::CallbackQuarantined { morph, reason }) => {
             assert_eq!(morph, shared.id());
@@ -577,13 +561,18 @@ fn interrupts_deliver_to_the_registering_tile_only() {
     let sets = s.config().llc_bank.sets();
     let period = s.config().tiles as u64 * sets * LINE_BYTES;
     let pool = s.alloc_real(64 * period);
-    let first =
-        pool.base + (secure.base % period + period - pool.base % period) % period;
+    let first = pool.base + (secure.base % period + period - pool.base % period) % period;
     let mut t = 100_000;
     for w in 0..32u64 {
         t = s.timed_access(1, AccessKind::Read, first + w * period, t);
     }
     use tako_cpu::MemSystem as _;
-    assert!(s.take_interrupt(3).is_none(), "wrong tile got the interrupt");
-    assert!(s.take_interrupt(7).is_some(), "registering tile must get it");
+    assert!(
+        s.take_interrupt(3).is_none(),
+        "wrong tile got the interrupt"
+    );
+    assert!(
+        s.take_interrupt(7).is_some(),
+        "registering tile must get it"
+    );
 }

@@ -51,10 +51,18 @@ fn random_access_storm_preserves_invariants_and_data() {
 
     let real = sys.alloc_real(1 << 20);
     let priv_h = sys
-        .register_phantom(MorphLevel::Private, 1 << 18, Box::new(Pattern { tag: 0xAAAA }))
+        .register_phantom(
+            MorphLevel::Private,
+            1 << 18,
+            Box::new(Pattern { tag: 0xAAAA }),
+        )
         .expect("private morph");
     let shared_h = sys
-        .register_phantom(MorphLevel::Shared, 1 << 18, Box::new(Pattern { tag: 0x5555 }))
+        .register_phantom(
+            MorphLevel::Shared,
+            1 << 18,
+            Box::new(Pattern { tag: 0x5555 }),
+        )
         .expect("shared morph");
 
     // Shadow model of the real region.
@@ -68,24 +76,14 @@ fn random_access_storm_preserves_invariants_and_data() {
                     // Real-region write + shadow.
                     let w = rng.below(real.size / 8);
                     let val = rng.next_u64();
-                    t = sys.timed_access(
-                        tile,
-                        AccessKind::Write,
-                        real.base + w * 8,
-                        t,
-                    );
+                    t = sys.timed_access(tile, AccessKind::Write, real.base + w * 8, t);
                     sys.data().write_u64(real.base + w * 8, val);
                     shadow[w as usize] = val;
                 }
                 4..=6 => {
                     // Real-region read must match the shadow.
                     let w = rng.below(real.size / 8);
-                    t = sys.timed_access(
-                        tile,
-                        AccessKind::Read,
-                        real.base + w * 8,
-                        t,
-                    );
+                    t = sys.timed_access(tile, AccessKind::Read, real.base + w * 8, t);
                     let got = sys.data().read_u64(real.base + w * 8);
                     assert_eq!(got, shadow[w as usize], "data corruption");
                 }
@@ -114,12 +112,7 @@ fn random_access_storm_preserves_invariants_and_data() {
                 _ => {
                     // RMO into the shared phantom range.
                     let off = rng.below(shared_h.range().size / 8) * 8;
-                    t = sys.timed_access(
-                        tile,
-                        AccessKind::Rmo,
-                        shared_h.range().base + off,
-                        t,
-                    );
+                    t = sys.timed_access(tile, AccessKind::Rmo, shared_h.range().base + off, t);
                 }
             }
         }
@@ -156,8 +149,7 @@ fn repeated_register_unregister_cycles_are_clean() {
             )
             .expect("register");
         for i in 0..64u64 {
-            let (v, done) =
-                sys.debug_read_u64(0, h.range().base + i * LINE_BYTES, t);
+            let (v, done) = sys.debug_read_u64(0, h.range().base + i * LINE_BYTES, t);
             assert_eq!(v, round ^ (i << 8));
             t = done;
         }

@@ -43,19 +43,12 @@ pub trait MemSystem {
     /// Simulate `kind` on `addr` issued by `tile` at `now`; returns the
     /// completion cycle. The access must leave the backing store
     /// up-to-date with any callback side effects before returning.
-    fn timed_access(
-        &mut self,
-        tile: TileId,
-        kind: AccessKind,
-        addr: Addr,
-        now: Cycle,
-    ) -> Cycle;
+    fn timed_access(&mut self, tile: TileId, kind: AccessKind, addr: Addr, now: Cycle) -> Cycle;
 
     /// Flush `range` from the caches (täkō's flushData, Sec 4.4),
     /// blocking until all triggered callbacks complete; returns the
     /// completion cycle.
-    fn timed_flush(&mut self, tile: TileId, range: AddrRange, now: Cycle)
-        -> Cycle;
+    fn timed_flush(&mut self, tile: TileId, range: AddrRange, now: Cycle) -> Cycle;
 
     /// The statistics registry.
     fn stats(&mut self) -> &mut Stats;
@@ -130,7 +123,9 @@ impl<'a> CoreEnv<'a> {
 
     fn timed_load(&mut self, addr: Addr, dep: bool) {
         let issue = self.core.load_issue(dep);
-        let done = self.sys.timed_access(self.tile, AccessKind::Read, addr, issue);
+        let done = self
+            .sys
+            .timed_access(self.tile, AccessKind::Read, addr, issue);
         let lat = self.core.load_complete(issue, done);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreLoad);
@@ -171,9 +166,9 @@ impl<'a> CoreEnv<'a> {
 
     fn timed_load_stream(&mut self, addr: Addr) {
         let issue = self.core.load_issue(false);
-        let done =
-            self.sys
-                .timed_access(self.tile, AccessKind::ReadStream, addr, issue);
+        let done = self
+            .sys
+            .timed_access(self.tile, AccessKind::ReadStream, addr, issue);
         let lat = self.core.load_complete(issue, done);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreLoad);
@@ -221,24 +216,18 @@ impl<'a> CoreEnv<'a> {
     /// blocking the core (the demand load later overlaps with it).
     pub fn prefetch_stream(&mut self, addr: Addr) {
         let issue = self.core.post_write();
-        let _ = self.sys.timed_access(
-            self.tile,
-            AccessKind::ReadStream,
-            addr,
-            issue,
-        );
+        let _ = self
+            .sys
+            .timed_access(self.tile, AccessKind::ReadStream, addr, issue);
         self.sys.stats().add(Counter::CoreInstr, 1);
     }
 
     /// Non-temporal store of a `u64` (streaming appends).
     pub fn store_stream_u64(&mut self, addr: Addr, val: u64) {
         let issue = self.core.post_write();
-        let _ = self.sys.timed_access(
-            self.tile,
-            AccessKind::WriteStream,
-            addr,
-            issue,
-        );
+        let _ = self
+            .sys
+            .timed_access(self.tile, AccessKind::WriteStream, addr, issue);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreStore);
         stats.add(Counter::CoreInstr, 1);
@@ -248,12 +237,9 @@ impl<'a> CoreEnv<'a> {
     /// Non-temporal store of an `f64`.
     pub fn store_stream_f64(&mut self, addr: Addr, val: f64) {
         let issue = self.core.post_write();
-        let _ = self.sys.timed_access(
-            self.tile,
-            AccessKind::WriteStream,
-            addr,
-            issue,
-        );
+        let _ = self
+            .sys
+            .timed_access(self.tile, AccessKind::WriteStream, addr, issue);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreStore);
         stats.add(Counter::CoreInstr, 1);
@@ -262,7 +248,9 @@ impl<'a> CoreEnv<'a> {
 
     fn timed_store(&mut self, addr: Addr) {
         let issue = self.core.post_write();
-        let _done = self.sys.timed_access(self.tile, AccessKind::Write, addr, issue);
+        let _done = self
+            .sys
+            .timed_access(self.tile, AccessKind::Write, addr, issue);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreStore);
         stats.add(Counter::CoreInstr, 1);
@@ -298,7 +286,9 @@ impl<'a> CoreEnv<'a> {
     /// holding the line, after any onMiss callback initializes it).
     pub fn rmo_add_f64(&mut self, addr: Addr, val: f64) {
         let issue = self.core.post_write();
-        let _done = self.sys.timed_access(self.tile, AccessKind::Rmo, addr, issue);
+        let _done = self
+            .sys
+            .timed_access(self.tile, AccessKind::Rmo, addr, issue);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreRmo);
         stats.add(Counter::CoreInstr, 1);
@@ -308,7 +298,9 @@ impl<'a> CoreEnv<'a> {
     /// Remote atomic add on a `u64` (relaxed).
     pub fn rmo_add_u64(&mut self, addr: Addr, val: u64) {
         let issue = self.core.post_write();
-        let _done = self.sys.timed_access(self.tile, AccessKind::Rmo, addr, issue);
+        let _done = self
+            .sys
+            .timed_access(self.tile, AccessKind::Rmo, addr, issue);
         let stats = self.sys.stats();
         stats.bump(Counter::CoreRmo);
         stats.add(Counter::CoreInstr, 1);
@@ -398,12 +390,7 @@ mod tests {
             self.accesses += 1;
             now + 50
         }
-        fn timed_flush(
-            &mut self,
-            _tile: TileId,
-            _range: AddrRange,
-            now: Cycle,
-        ) -> Cycle {
+        fn timed_flush(&mut self, _tile: TileId, _range: AddrRange, now: Cycle) -> Cycle {
             now + 500
         }
         fn stats(&mut self) -> &mut Stats {
@@ -513,15 +500,8 @@ mod tests {
             CoreTiming::new(CoreConfig::goldmont()),
         ];
         let mut preds = vec![BranchPredictor::new(), BranchPredictor::new()];
-        let mut programs: Vec<(TileId, &mut dyn ThreadProgram)> =
-            vec![(0, &mut a), (1, &mut b)];
-        let end = crate::run_multicore(
-            &mut programs,
-            &mut cores,
-            &mut preds,
-            &mut sys,
-            10_000,
-        );
+        let mut programs: Vec<(TileId, &mut dyn ThreadProgram)> = vec![(0, &mut a), (1, &mut b)];
+        let end = crate::run_multicore(&mut programs, &mut cores, &mut preds, &mut sys, 10_000);
         assert_eq!(sys.accesses, 55);
         assert!(end >= cores[1].now());
     }

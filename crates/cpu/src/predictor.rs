@@ -41,8 +41,7 @@ impl BranchPredictor {
         } else {
             *counter = counter.saturating_sub(1);
         }
-        self.history = ((self.history << 1) | u64::from(taken))
-            & (TABLE_SIZE as u64 - 1);
+        self.history = ((self.history << 1) | u64::from(taken)) & (TABLE_SIZE as u64 - 1);
         predicted_taken != taken
     }
 }

@@ -87,7 +87,10 @@ impl PePool {
         for _ in 0..k {
             free.push(Reverse(0));
         }
-        PePool { free, unlimited: false }
+        PePool {
+            free,
+            unlimited: false,
+        }
     }
 
     /// Reserve a server at or after `ready`; occupy it for `occupancy`
@@ -477,8 +480,7 @@ mod proptests {
                     deps_idx.push((picks as usize / 3) % i);
                 }
             }
-            let deps: Vec<Val> =
-                deps_idx.iter().map(|&j| produced[j].0).collect();
+            let deps: Vec<Val> = deps_idx.iter().map(|&j| produced[j].0).collect();
             let v = if is_mem {
                 let fire = trace.mem_fire(&deps);
                 trace.mem_complete(fire + mem_lat % 200)
@@ -496,13 +498,7 @@ mod proptests {
     fn random_ops(rng: &mut Rng, max_len: u64, max_lat: u64) -> Vec<(bool, u8, u64)> {
         let n = 1 + rng.below(max_len) as usize;
         (0..n)
-            .map(|_| {
-                (
-                    rng.chance(0.5),
-                    rng.next_u64() as u8,
-                    rng.below(max_lat),
-                )
-            })
+            .map(|_| (rng.chance(0.5), rng.next_u64() as u8, rng.below(max_lat)))
             .collect()
     }
 
@@ -529,10 +525,7 @@ mod proptests {
                 assert!(result.completion >= v.ready());
             }
             assert_eq!(result.instrs, ops.len() as u64);
-            assert_eq!(
-                result.mem_ops,
-                ops.iter().filter(|o| o.0).count() as u64
-            );
+            assert_eq!(result.mem_ops, ops.iter().filter(|o| o.0).count() as u64);
         }
     }
 

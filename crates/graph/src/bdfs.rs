@@ -80,9 +80,7 @@ impl Iterator for BdfsOrder<'_> {
             // Descend into undiscovered targets while within the bound;
             // targets that do not fit stay undiscovered so a later edge
             // or the seed scan still schedules their out-edges.
-            if !self.discovered[d as usize]
-                && self.stack.len() < self.depth_bound
-            {
+            if !self.discovered[d as usize] && self.stack.len() < self.depth_bound {
                 self.discovered[d as usize] = true;
                 self.stack.push(d);
             }

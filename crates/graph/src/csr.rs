@@ -17,7 +17,10 @@ impl Csr {
     pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
         let mut degree = vec![0u64; n];
         for &(s, d) in edges {
-            assert!((s as usize) < n && (d as usize) < n, "endpoint out of range");
+            assert!(
+                (s as usize) < n && (d as usize) < n,
+                "endpoint out of range"
+            );
             degree[s as usize] += 1;
         }
         let mut offsets = vec![0u64; n + 1];
@@ -69,9 +72,8 @@ impl Csr {
     /// All edges in vertex order (the baseline "vertex-ordered"
     /// traversal of Fig 16).
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices() as u32).flat_map(move |v| {
-            self.neighbors(v).iter().map(move |&d| (v, d))
-        })
+        (0..self.num_vertices() as u32)
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&d| (v, d)))
     }
 }
 
@@ -116,9 +118,7 @@ mod tests {
             let n = 1 + rng.below(49) as usize;
             let m = rng.below(200) as usize;
             let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| {
-                    (rng.below(n as u64) as u32, rng.below(n as u64) as u32)
-                })
+                .map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
                 .collect();
             let g = Csr::from_edges(n, &edges);
             let mut a = edges.clone();

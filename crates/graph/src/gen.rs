@@ -22,12 +22,7 @@ use crate::csr::Csr;
 pub fn uniform(n: usize, m: usize, rng: &mut Rng) -> Csr {
     assert!(n > 0, "graph needs vertices");
     let edges: Vec<(u32, u32)> = (0..m)
-        .map(|_| {
-            (
-                rng.below(n as u64) as u32,
-                rng.below(n as u64) as u32,
-            )
-        })
+        .map(|_| (rng.below(n as u64) as u32, rng.below(n as u64) as u32))
         .collect();
     Csr::from_edges(n, &edges)
 }
@@ -65,13 +60,7 @@ pub fn power_law(n: usize, m: usize, theta: f64, rng: &mut Rng) -> Csr {
 ///
 /// Panics if `n == 0`, `communities == 0`, or `p_intra` is not in
 /// `[0, 1]`.
-pub fn community(
-    n: usize,
-    m: usize,
-    communities: usize,
-    p_intra: f64,
-    rng: &mut Rng,
-) -> Csr {
+pub fn community(n: usize, m: usize, communities: usize, p_intra: f64, rng: &mut Rng) -> Csr {
     assert!(n > 0 && communities > 0, "need vertices and communities");
     assert!((0.0..=1.0).contains(&p_intra), "p_intra must be in [0,1]");
     let csize = n.div_ceil(communities);

@@ -55,9 +55,7 @@ impl PhysMem {
             let (page, off) = Self::split(cur);
             let chunk = (PAGE_BYTES as usize - off).min(buf.len() - done);
             match self.pages.get(&page) {
-                Some(p) => {
-                    buf[done..done + chunk].copy_from_slice(&p[off..off + chunk])
-                }
+                Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
                 None => buf[done..done + chunk].fill(0),
             }
             done += chunk;
@@ -194,8 +192,7 @@ mod tests {
         for _ in 0..128 {
             let addr = rng.below(100_000);
             let len = 1 + rng.below(511) as usize;
-            let data: Vec<u8> =
-                (0..len).map(|_| rng.next_u64() as u8).collect();
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let mut mem = PhysMem::new();
             mem.write_bytes(addr, &data);
             let mut back = vec![0u8; data.len()];

@@ -9,7 +9,7 @@
 //! bandwidth-bound behaviour that PHI and update batching optimize for.
 
 use tako_sim::config::{MemConfig, LINE_BYTES};
-use tako_sim::stats::{Counter, Stats};
+use tako_sim::event::{TxnEvent, TxnSink};
 use tako_sim::Cycle;
 
 use crate::addr::Addr;
@@ -43,26 +43,18 @@ impl Dram {
     }
 
     /// Simulate a line read issued at `now`; returns the cycle the line
-    /// is available.
-    pub fn read_line(
-        &mut self,
-        line_addr: Addr,
-        now: Cycle,
-        stats: &mut Stats,
-    ) -> Cycle {
-        stats.bump(Counter::DramRead);
+    /// is available. The transfer is charged as [`TxnEvent::DramRead`]
+    /// on `sink`.
+    pub fn read_line(&mut self, line_addr: Addr, now: Cycle, sink: &mut impl TxnSink) -> Cycle {
+        sink.emit(TxnEvent::DramRead);
         self.access(line_addr, now)
     }
 
     /// Simulate a line write issued at `now`; returns the cycle the write
     /// is absorbed (writes are posted, but they still consume bandwidth).
-    pub fn write_line(
-        &mut self,
-        line_addr: Addr,
-        now: Cycle,
-        stats: &mut Stats,
-    ) -> Cycle {
-        stats.bump(Counter::DramWrite);
+    /// The transfer is charged as [`TxnEvent::DramWrite`] on `sink`.
+    pub fn write_line(&mut self, line_addr: Addr, now: Cycle, sink: &mut impl TxnSink) -> Cycle {
+        sink.emit(TxnEvent::DramWrite);
         self.access(line_addr, now)
     }
 
@@ -83,6 +75,7 @@ impl Dram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tako_sim::stats::{Counter, Stats};
 
     fn dram() -> (Dram, Stats) {
         (Dram::new(MemConfig::default()), Stats::new())

@@ -21,7 +21,7 @@
 //! ```
 
 use tako_sim::config::{NocConfig, LINE_BYTES};
-use tako_sim::stats::{Counter, Stats};
+use tako_sim::event::{TxnEvent, TxnSink};
 use tako_sim::{Cycle, TileId};
 
 /// Message payload classes, determining flit counts.
@@ -76,22 +76,23 @@ impl Mesh {
         }
     }
 
-    /// Latency of sending `payload` from `from` to `to`, counting
-    /// flit-hops in `stats` for the energy model. Zero-hop (same tile)
-    /// messages are free.
+    /// Latency of sending `payload` from `from` to `to`, charging the
+    /// flit-hops as a [`TxnEvent::NocHops`] on `sink` (the stats sink
+    /// counts them for the energy model). Zero-hop (same tile) messages
+    /// are free.
     pub fn transfer(
         &self,
         from: TileId,
         to: TileId,
         payload: Payload,
-        stats: &mut Stats,
+        sink: &mut impl TxnSink,
     ) -> Cycle {
         let hops = self.hops(from, to);
         if hops == 0 {
             return 0;
         }
         let flits = self.flits(payload);
-        stats.add(Counter::NocFlitHops, flits * hops);
+        sink.emit(TxnEvent::NocHops { flits, hops });
         // Head-flit latency; body flits pipeline behind it one cycle each.
         hops * (self.cfg.router_latency + self.cfg.link_latency) + (flits - 1)
     }
@@ -112,6 +113,7 @@ impl Mesh {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tako_sim::stats::{Counter, Stats};
 
     fn mesh4() -> Mesh {
         Mesh::new((4, 4), NocConfig::default())

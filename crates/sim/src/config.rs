@@ -425,21 +425,18 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::NoTiles => write!(f, "system has zero tiles"),
-            ConfigError::MeshMismatch { mesh, tiles } => write!(
-                f,
-                "mesh {}x{} does not cover {tiles} tiles",
-                mesh.0, mesh.1
-            ),
+            ConfigError::MeshMismatch { mesh, tiles } => {
+                write!(f, "mesh {}x{} does not cover {tiles} tiles", mesh.0, mesh.1)
+            }
             ConfigError::ZeroWays(level) => {
                 write!(f, "{level} cache has zero ways")
             }
             ConfigError::CacheTooSmall(level) => {
                 write!(f, "{level} cache too small for its associativity")
             }
-            ConfigError::SetsNotPowerOfTwo { level, sets } => write!(
-                f,
-                "{level} cache has {sets} sets (must be a power of two)"
-            ),
+            ConfigError::SetsNotPowerOfTwo { level, sets } => {
+                write!(f, "{level} cache has {sets} sets (must be a power of two)")
+            }
             ConfigError::TooFewMshrs(level) => {
                 write!(f, "{level} cache needs at least 2 MSHRs")
             }
@@ -562,10 +559,7 @@ impl SystemConfig {
                 return Err(ConfigError::CacheTooSmall(level));
             }
             if !sets.is_power_of_two() {
-                return Err(ConfigError::SetsNotPowerOfTwo {
-                    level,
-                    sets,
-                });
+                return Err(ConfigError::SetsNotPowerOfTwo { level, sets });
             }
             if c.mshrs < 2 {
                 return Err(ConfigError::TooFewMshrs(level));
@@ -574,9 +568,7 @@ impl SystemConfig {
         if self.mem.controllers == 0 {
             return Err(ConfigError::NoDramControllers);
         }
-        if !(self.mem.bytes_per_cycle > 0.0
-            && self.mem.bytes_per_cycle.is_finite())
-        {
+        if !(self.mem.bytes_per_cycle > 0.0 && self.mem.bytes_per_cycle.is_finite()) {
             return Err(ConfigError::NoDramBandwidth);
         }
         if self.engine.alu_pes == 0 {
@@ -771,10 +763,7 @@ mod tests {
         let sq3 = EngineConfig::square(3);
         assert_eq!(sq3.total_pes(), 9);
         assert_eq!(EngineConfig::ideal().pe_latency, 0);
-        assert_eq!(
-            EngineConfig::default_5x5().instr_capacity(),
-            25 * 16
-        );
+        assert_eq!(EngineConfig::default_5x5().instr_capacity(), 25 * 16);
     }
 
     #[test]

@@ -126,13 +126,7 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if `kinds` is empty or `lo >= hi`.
-    pub fn seeded(
-        seed: u64,
-        kinds: &[FaultKind],
-        count: usize,
-        lo: Cycle,
-        hi: Cycle,
-    ) -> Self {
+    pub fn seeded(seed: u64, kinds: &[FaultKind], count: usize, lo: Cycle, hi: Cycle) -> Self {
         assert!(!kinds.is_empty(), "kinds must be non-empty");
         assert!(lo < hi, "cycle window must be non-empty");
         let mut rng = Rng::new(seed);
@@ -157,9 +151,7 @@ impl FaultPlan {
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let parts: Vec<&str> = s.split(':').collect();
         if parts.len() < 2 || parts.len() > 3 {
-            return Err(format!(
-                "--faults wants seed:kind[:count], got `{s}`"
-            ));
+            return Err(format!("--faults wants seed:kind[:count], got `{s}`"));
         }
         let seed: u64 = parts[0]
             .parse()
@@ -172,9 +164,7 @@ impl FaultPlan {
             ))?],
         };
         let count: usize = match parts.get(2) {
-            Some(c) => c
-                .parse()
-                .map_err(|_| format!("bad fault count `{c}`"))?,
+            Some(c) => c.parse().map_err(|_| format!("bad fault count `{c}`"))?,
             None => kinds.len(),
         };
         Ok(FaultPlan::seeded(seed, &kinds, count, 1_000, 1_000_000))

@@ -39,7 +39,9 @@
 //! ```
 
 pub mod config;
+pub mod digest;
 pub mod energy;
+pub mod event;
 pub mod fault;
 pub mod parallel;
 pub mod rng;

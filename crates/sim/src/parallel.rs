@@ -68,10 +68,8 @@ where
     // the slot of its input index. Mutexes are uncontended (each slot is
     // touched by exactly one worker) — they only exist to make the
     // slot writes safe across threads without unsafe code.
-    let work: Vec<Mutex<Option<T>>> =
-        items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let slots: Vec<Mutex<Option<R>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..jobs {
@@ -121,11 +119,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// experiment harnesses satisfy this because each item's simulation is
 /// self-contained (the `AssertUnwindSafe` below is sound for the same
 /// reason `parallel_map`'s determinism argument holds).
-pub fn parallel_map_catch<T, R, F>(
-    jobs: usize,
-    items: Vec<T>,
-    f: F,
-) -> Vec<Result<R, String>>
+pub fn parallel_map_catch<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<Result<R, String>>
 where
     T: Send,
     R: Send,
@@ -146,9 +140,7 @@ mod tests {
         let items: Vec<u64> = (0..100).collect();
         let out = parallel_map(8, items, |i, x| {
             // Stagger completion so late indices often finish first.
-            std::thread::sleep(std::time::Duration::from_micros(
-                (100 - x) * 10,
-            ));
+            std::thread::sleep(std::time::Duration::from_micros((100 - x) * 10));
             (i, x * 2)
         });
         for (i, (idx, doubled)) in out.iter().enumerate() {
@@ -212,16 +204,12 @@ mod tests {
 
     #[test]
     fn catch_isolates_panics_and_keeps_order() {
-        let out = parallel_map_catch(
-            4,
-            (0..32).collect::<Vec<u64>>(),
-            |_, x| {
-                if x == 17 {
-                    panic!("boom on {x}");
-                }
-                x * 2
-            },
-        );
+        let out = parallel_map_catch(4, (0..32).collect::<Vec<u64>>(), |_, x| {
+            if x == 17 {
+                panic!("boom on {x}");
+            }
+            x * 2
+        });
         assert_eq!(out.len(), 32);
         for (i, r) in out.iter().enumerate() {
             if i == 17 {
@@ -247,9 +235,7 @@ mod tests {
 
     #[test]
     fn catch_all_ok_matches_plain_map() {
-        let out = parallel_map_catch(8, (0..64).collect::<Vec<u64>>(), |i, x| {
-            x + i as u64
-        });
+        let out = parallel_map_catch(8, (0..64).collect::<Vec<u64>>(), |i, x| x + i as u64);
         assert!(out.iter().enumerate().all(|(i, r)| *r == Ok(2 * i as u64)));
     }
 }

@@ -39,10 +39,7 @@ impl Rng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -111,8 +108,7 @@ impl Zipfian {
         let zetan = Self::zeta(n, theta);
         let zeta2 = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta))
-            / (1.0 - zeta2 / zetan);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
         Zipfian {
             n,
             theta,
@@ -137,9 +133,7 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let raw = (self.n as f64
-            * (self.eta * u - self.eta + 1.0).powf(self.alpha))
-            as u64;
+        let raw = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         raw.min(self.n - 1)
     }
 

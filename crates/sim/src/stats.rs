@@ -326,9 +326,7 @@ impl Stats {
     /// operations issued by engines. This is the work metric the
     /// benchmark harness reports as accesses/sec.
     pub fn memory_accesses(&self) -> u64 {
-        self.get(Counter::L1dHit)
-            + self.get(Counter::L1dMiss)
-            + self.get(Counter::EngineMemOp)
+        self.get(Counter::L1dHit) + self.get(Counter::L1dMiss) + self.get(Counter::EngineMemOp)
     }
 
     /// Pretty-print all non-zero counters, one per line.
@@ -358,8 +356,7 @@ impl Default for Stats {
 /// (all worker threads). Fed by [`record_simulated_accesses`]; the
 /// benchmark harness divides it by wall-clock time for its
 /// accesses-per-second figure.
-static SIMULATED_ACCESSES: std::sync::atomic::AtomicU64 =
-    std::sync::atomic::AtomicU64::new(0);
+static SIMULATED_ACCESSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Add `n` simulated accesses to the process-wide tally. Called once
 /// per finished simulation run (not per access), so the atomic is off

@@ -133,10 +133,7 @@ impl GraphLayout {
     /// `pagerank::iteration`.
     pub fn finalize_iteration(&self, sys: &mut TakoSystem) -> Vec<f64> {
         let base = (1.0 - tako_graph::pagerank::DAMPING) / self.n as f64;
-        self.read_next(sys)
-            .into_iter()
-            .map(|x| x + base)
-            .collect()
+        self.read_next(sys).into_iter().map(|x| x + base).collect()
     }
 
     /// The address range of the `next` accumulator array.
@@ -172,8 +169,7 @@ mod tests {
         let v0deg = g.out_degree(0);
         let s0 = mem.read_f64(l.shares);
         if v0deg > 0 {
-            let expect = tako_graph::pagerank::DAMPING * (1.0 / 64.0)
-                / v0deg as f64;
+            let expect = tako_graph::pagerank::DAMPING * (1.0 / 64.0) / v0deg as f64;
             assert!((s0 - expect).abs() < 1e-12);
         } else {
             assert_eq!(s0, 0.0);

@@ -22,9 +22,7 @@
 //! [`Counter::Decompression`] counts decompressed *values* (Fig 7).
 
 use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
-use tako_cpu::{
-    run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
-};
+use tako_cpu::{run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram};
 use tako_mem::addr::Addr;
 use tako_sim::config::{EngineConfig, SystemConfig};
 use tako_sim::rng::{Rng, Zipfian};
@@ -185,8 +183,7 @@ impl Morph for DecompressMorph {
         let sum = ctx.alu(&[b, d]);
         let mut vals = [0.0f64; 8];
         for (i, val) in vals.iter_mut().enumerate() {
-            let delta =
-                ctx.data().read_u8(self.deltas + group * GROUP + i as u64);
+            let delta = ctx.data().read_u8(self.deltas + group * GROUP + i as u64);
             *val = decompress(base as i64, delta);
         }
         ctx.line_write_all_f64(&vals, &[sum]);
@@ -315,8 +312,7 @@ impl ThreadProgram for AvgProgram {
             let idx = u64::from(env.load_stream_u32(self.indices + k * 4));
             let val = match &self.mode {
                 Mode::Software => {
-                    let base =
-                        env.load_u64(self.ds_bases + (idx / GROUP) * 8) as i64;
+                    let base = env.load_u64(self.ds_bases + (idx / GROUP) * 8) as i64;
                     env.load_u64(self.ds_deltas + idx); // delta byte's line
                     env.compute(6); // unpack, add, convert
                     env.stats().add(Counter::Decompression, 1);
@@ -421,13 +417,7 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> DecompressRe
     }
 
     let max_steps = 40 * params.accesses.max(params.values) + 10_000;
-    let cycles = run_single(
-        0,
-        &mut prog,
-        CoreTiming::new(cfg.core),
-        &mut sys,
-        max_steps,
-    );
+    let cycles = run_single(0, &mut prog, CoreTiming::new(cfg.core), &mut sys, max_steps);
     let decompressions = sys.stats_view().get(Counter::Decompression);
     DecompressResult {
         run: RunResult::collect(&sys, cycles),

@@ -22,9 +22,7 @@
 //! and täkō with an ideal engine.
 
 use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
-use tako_cpu::{
-    run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
-};
+use tako_cpu::{run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram};
 use tako_dataflow::Val;
 use tako_graph::Csr;
 use tako_mem::addr::Addr;
@@ -143,8 +141,7 @@ impl HatsMorph {
     /// neighbor loads; only the traversal decisions are sequential).
     fn push(&mut self, ctx: &mut EngineCtx<'_>, v: u32, dep: Val) {
         let (lo, _d1) = ctx.load_u64(self.offsets + u64::from(v) * 8, &[dep]);
-        let (hi, d2) =
-            ctx.load_u64(self.offsets + (u64::from(v) + 1) * 8, &[dep]);
+        let (hi, d2) = ctx.load_u64(self.offsets + (u64::from(v) + 1) * 8, &[dep]);
         // Warm the vertex's first target line while the traversal
         // continues (hides the offsets→targets dependence).
         if lo < hi {
@@ -155,15 +152,10 @@ impl HatsMorph {
 
     /// Produce the next edge in BDFS order, or `None` when exhausted.
     /// Returns the edge and the value handle of its target load.
-    fn next_edge(
-        &mut self,
-        ctx: &mut EngineCtx<'_>,
-    ) -> Option<((u32, u32), Val)> {
+    fn next_edge(&mut self, ctx: &mut EngineCtx<'_>) -> Option<((u32, u32), Val)> {
         loop {
             while self.stack.is_empty() {
-                while (self.seed as u64) < self.n
-                    && self.discovered[self.seed as usize]
-                {
+                while (self.seed as u64) < self.n && self.discovered[self.seed as usize] {
                     self.seed += 1;
                 }
                 if self.seed as u64 >= self.n {
@@ -189,9 +181,7 @@ impl HatsMorph {
             // Per-edge fabric work: visited check, bound compare, pack.
             let chk = ctx.alu(&[d]);
             let packed = ctx.alu(&[chk]);
-            if !self.discovered[dst as usize]
-                && self.stack.len() < self.depth_bound
-            {
+            if !self.discovered[dst as usize] && self.stack.len() < self.depth_bound {
                 self.discovered[dst as usize] = true;
                 self.push(ctx, dst, chk);
             }
@@ -210,11 +200,7 @@ impl HatsMorph {
             if e == INVALID_EDGE || e == 0 {
                 continue;
             }
-            dep = ctx.store_stream_u64(
-                self.log + (self.log_cursor + logged) * 8,
-                e,
-                &[dep],
-            );
+            dep = ctx.store_stream_u64(self.log + (self.log_cursor + logged) * 8, e, &[dep]);
             logged += 1;
         }
         if logged > 0 {
@@ -335,8 +321,7 @@ struct SwBdfsProgram {
 impl SwBdfsProgram {
     fn push(&mut self, env: &mut CoreEnv<'_>, v: u32) {
         let lo = env.load_u64_dep(self.layout.offsets + u64::from(v) * 8);
-        let hi =
-            env.load_u64(self.layout.offsets + (u64::from(v) + 1) * 8);
+        let hi = env.load_u64(self.layout.offsets + (u64::from(v) + 1) * 8);
         env.compute(3); // stack bookkeeping
         self.stack.push((v, lo, hi));
     }
@@ -350,8 +335,7 @@ impl ThreadProgram for SwBdfsProgram {
             }
             loop {
                 while self.stack.is_empty() {
-                    while (self.seed as u64) < self.layout.n
-                        && self.discovered[self.seed as usize]
+                    while (self.seed as u64) < self.layout.n && self.discovered[self.seed as usize]
                     {
                         self.seed += 1;
                         env.compute(2);
@@ -374,11 +358,8 @@ impl ThreadProgram for SwBdfsProgram {
                 env.branch(0x20, false);
                 let dst = env.load_u32(self.layout.targets + cur * 4);
                 // Visited check: a dependent load + data-dependent branch.
-                let take = !self.discovered[dst as usize]
-                    && self.stack.len() < self.depth_bound;
-                env.load_u64_dep(
-                    self.layout.offsets + u64::from(dst) * 8 / 8 * 8,
-                );
+                let take = !self.discovered[dst as usize] && self.stack.len() < self.depth_bound;
+                env.load_u64_dep(self.layout.offsets + u64::from(dst) * 8 / 8 * 8);
                 env.branch(0x24, take);
                 if take {
                     self.discovered[dst as usize] = true;
@@ -518,12 +499,7 @@ pub fn run(variant: Variant, params: &Params, cfg: &SystemConfig) -> HatsResult 
 }
 
 /// Run one variant on a pre-built graph.
-pub fn run_on_graph(
-    variant: Variant,
-    params: &Params,
-    cfg: &SystemConfig,
-    g: &Csr,
-) -> HatsResult {
+pub fn run_on_graph(variant: Variant, params: &Params, cfg: &SystemConfig, g: &Csr) -> HatsResult {
     let mut cfg = cfg.clone();
     if variant == Variant::Ideal {
         cfg.engine = EngineConfig::ideal();
@@ -605,18 +581,14 @@ pub fn run_on_graph(
                         stranded += 1;
                     }
                 }
-                debug_assert_eq!(
-                    stranded, 0,
-                    "edges stranded in the phantom stream"
-                );
+                debug_assert_eq!(stranded, 0, "edges stranded in the phantom stream");
             }
             (c, prog.processed)
         }
     };
 
     let stats = sys.stats_view();
-    let mispredicts_per_edge =
-        stats.get(Counter::BranchMispredict) as f64 / m as f64;
+    let mispredicts_per_edge = stats.get(Counter::BranchMispredict) as f64 / m as f64;
     let mean_load_latency = stats.load_latency.mean();
     let next = layout.read_next(&mut sys);
     HatsResult {

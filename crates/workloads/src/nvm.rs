@@ -15,9 +15,7 @@
 //! there are no early evictions and journaling vanishes entirely.
 
 use tako_core::{EngineCtx, Morph, MorphHandle, MorphLevel, TakoSystem};
-use tako_cpu::{
-    run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
-};
+use tako_cpu::{run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram};
 use tako_mem::addr::Addr;
 use tako_sim::config::{EngineConfig, SystemConfig, LINE_BYTES};
 use tako_sim::stats::Counter;
@@ -41,8 +39,7 @@ pub enum Variant {
 
 impl Variant {
     /// All variants in Fig 19's order.
-    pub const ALL: [Variant; 3] =
-        [Variant::Journaling, Variant::Tako, Variant::Ideal];
+    pub const ALL: [Variant; 3] = [Variant::Journaling, Variant::Tako, Variant::Ideal];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -121,8 +118,7 @@ impl Morph for NvmMorph {
                 if w == INVALID_WORD {
                     continue;
                 }
-                let entry =
-                    self.journal + (self.journal_cursor + written) * 16;
+                let entry = self.journal + (self.journal_cursor + written) * 16;
                 dep = ctx.store_stream_u64(entry, home + offset + 8 * i as u64, &[dep]);
                 ctx.store_stream_u64(entry + 8, w, &[dep]);
                 written += 1;
@@ -382,7 +378,11 @@ mod tests {
             tk.journal_writes, 0,
             "no journaling when nothing is evicted before commit"
         );
-        let base = run(Variant::Journaling, small(), &SystemConfig::default_16core());
+        let base = run(
+            Variant::Journaling,
+            small(),
+            &SystemConfig::default_16core(),
+        );
         assert_eq!(base.journal_writes, 8 * 4 * 1024 / 8);
     }
 

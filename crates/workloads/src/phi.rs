@@ -20,8 +20,7 @@
 
 use tako_core::{EngineCtx, Morph, MorphHandle, MorphLevel, TakoSystem};
 use tako_cpu::{
-    run_multicore, BranchPredictor, CoreEnv, CoreTiming, MemSystem,
-    StepResult, ThreadProgram,
+    run_multicore, BranchPredictor, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
 };
 use tako_graph::Csr;
 use tako_mem::addr::Addr;
@@ -169,18 +168,14 @@ impl Morph for PhiMorph {
                 }
                 let slot = cursor + written;
                 written += 1;
-                assert!(
-                    slot < self.bin_cap,
-                    "bin overflow: raise bin capacity"
-                );
+                assert!(slot < self.bin_cap, "bin overflow: raise bin capacity");
                 let entry = self.bins + (bin * self.bin_cap + slot) * 16;
                 let vertex = base_v + i as u64;
                 assert!(vertex < self.n);
                 dep = ctx.store_stream_u64(entry, vertex, &[dep]);
                 ctx.store_stream_f64(entry + 8, d, &[dep]);
             }
-            ctx.data()
-                .write_u64(mem_count_addr, cursor + written);
+            ctx.data().write_u64(mem_count_addr, cursor + written);
             ctx.stats().add(Counter::PhiBinned, u64::from(count));
         }
     }
@@ -389,8 +384,7 @@ fn run_phase(
             c
         })
         .collect();
-    let mut preds: Vec<BranchPredictor> =
-        (0..threads).map(|_| BranchPredictor::new()).collect();
+    let mut preds: Vec<BranchPredictor> = (0..threads).map(|_| BranchPredictor::new()).collect();
     let mut progs: Vec<(usize, &mut dyn ThreadProgram)> = programs
         .iter_mut()
         .enumerate()
@@ -402,22 +396,12 @@ fn run_phase(
 /// Run one PageRank iteration with `variant` on `cfg`.
 pub fn run(variant: Variant, params: &Params, cfg: &SystemConfig) -> PhiResult {
     let mut rng = Rng::new(params.seed);
-    let g = tako_graph::gen::power_law(
-        params.vertices,
-        params.edges,
-        params.theta,
-        &mut rng,
-    );
+    let g = tako_graph::gen::power_law(params.vertices, params.edges, params.theta, &mut rng);
     run_on_graph(variant, params, cfg, &g)
 }
 
 /// Run on a pre-built graph (used by the scalability sweep, Fig 25).
-pub fn run_on_graph(
-    variant: Variant,
-    params: &Params,
-    cfg: &SystemConfig,
-    g: &Csr,
-) -> PhiResult {
+pub fn run_on_graph(variant: Variant, params: &Params, cfg: &SystemConfig, g: &Csr) -> PhiResult {
     let mut cfg = cfg.clone();
     if variant == Variant::Ideal {
         cfg.engine = EngineConfig::ideal();
@@ -444,7 +428,10 @@ pub fn run_on_graph(
             for _ in 0..threads {
                 ub_bins.push(sys.alloc_real(nbins * ub_cap * 16).base);
             }
-            Sink::LocalBins { bins: 0, cap: ub_cap }
+            Sink::LocalBins {
+                bins: 0,
+                cap: ub_cap,
+            }
         }
         Variant::Tako | Variant::Ideal => {
             let banks = cfg.tiles as u64;
@@ -537,13 +524,9 @@ pub fn run_on_graph(
                 for r in (t as u64..nbins).step_by(threads) {
                     for bank in 0..banks {
                         let slot = bank * nbins + r;
-                        let count =
-                            sys.data().read_u64(phi_bin_counts + slot * 8);
+                        let count = sys.data().read_u64(phi_bin_counts + slot * 8);
                         if count > 0 {
-                            work.push((
-                                phi_bins + slot * phi_bin_cap * 16,
-                                count,
-                            ));
+                            work.push((phi_bins + slot * phi_bin_cap * 16, count));
                         }
                     }
                 }
@@ -579,12 +562,10 @@ pub fn run_on_graph(
             base_term,
         }));
     }
-    let t_vertex =
-        run_phase(&mut sys, vertex_programs, &cfg, t_bin, max_steps);
+    let t_vertex = run_phase(&mut sys, vertex_programs, &cfg, t_bin, max_steps);
 
     let mem = sys.data();
-    let ranks: Vec<f64> =
-        (0..n).map(|v| mem.read_f64(layout.ranks + v * 8)).collect();
+    let ranks: Vec<f64> = (0..n).map(|v| mem.read_f64(layout.ranks + v * 8)).collect();
     PhiResult {
         run: RunResult::collect(&sys, t_vertex),
         ranks,
@@ -623,12 +604,7 @@ mod tests {
 
     fn reference(params: &Params) -> Vec<f64> {
         let mut rng = Rng::new(params.seed);
-        let g = tako_graph::gen::power_law(
-            params.vertices,
-            params.edges,
-            params.theta,
-            &mut rng,
-        );
+        let g = tako_graph::gen::power_law(params.vertices, params.edges, params.theta, &mut rng);
         let init = vec![1.0 / params.vertices as f64; params.vertices];
         pagerank::iteration(&g, &init)
     }
@@ -682,8 +658,7 @@ mod tests {
         let sw = run(Variant::Software, &p, &cfg);
         let tk = run(Variant::Tako, &p, &cfg);
         assert!(
-            (tk.run.dram_accesses() as f64)
-                < 0.8 * sw.run.dram_accesses() as f64,
+            (tk.run.dram_accesses() as f64) < 0.8 * sw.run.dram_accesses() as f64,
             "tako {} vs software {} DRAM accesses",
             tk.run.dram_accesses(),
             sw.run.dram_accesses()

@@ -22,8 +22,7 @@ use std::rc::Rc;
 
 use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
 use tako_cpu::{
-    run_multicore, BranchPredictor, CoreEnv, CoreTiming, MemSystem,
-    StepResult, ThreadProgram,
+    run_multicore, BranchPredictor, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
 };
 use tako_mem::addr::Addr;
 use tako_sim::config::{SystemConfig, LINE_BYTES};
@@ -122,8 +121,7 @@ impl ThreadProgram for VictimProgram {
             return StepResult::Running;
         }
         // Poll the user-space interrupt (täkō's defense signal).
-        if self.tako && self.defended.is_none() && env.take_interrupt().is_some()
-        {
+        if self.tako && self.defended.is_none() && env.take_interrupt().is_some() {
             self.defended = Some(round);
         }
         if !self.warmed {
@@ -137,9 +135,7 @@ impl ThreadProgram for VictimProgram {
             self.turns.turn.set(2);
             return StepResult::Running;
         }
-        let nibble =
-            (self.secret[round % self.secret.len()] as usize)
-                % self.params.table_lines;
+        let nibble = (self.secret[round % self.secret.len()] as usize) % self.params.table_lines;
         if self.defended.is_some() {
             // Defense: constant-time access pattern — touch every line.
             for l in 0..self.params.table_lines {
@@ -252,9 +248,7 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SideChannelR
     let mut rng = Rng::new(params.seed);
 
     // Secure table, line-aligned.
-    let table = sys
-        .alloc_real(params.table_lines as u64 * LINE_BYTES)
-        .base;
+    let table = sys.alloc_real(params.table_lines as u64 * LINE_BYTES).base;
     for l in 0..params.table_lines as u64 {
         sys.data().write_u64(table + l * LINE_BYTES, 0x5EC0 + l);
     }
@@ -273,8 +267,7 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SideChannelR
     let target = table + monitored_line as u64 * LINE_BYTES;
     let first = pool.base + (target % period + period - pool.base % period) % period;
     let ways = cfg.llc_bank.ways as u64;
-    let conflict_lines: Vec<Addr> =
-        (0..ways).map(|w| first + w * period).collect();
+    let conflict_lines: Vec<Addr> = (0..ways).map(|w| first + w * period).collect();
 
     let victim_tile = 2;
     let tako = variant == Variant::Tako;
@@ -282,10 +275,7 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SideChannelR
         sys.register_real_at(
             victim_tile,
             MorphLevel::Shared,
-            tako_mem::addr::AddrRange::new(
-                table,
-                params.table_lines as u64 * LINE_BYTES,
-            ),
+            tako_mem::addr::AddrRange::new(table, params.table_lines as u64 * LINE_BYTES),
             Box::new(AlarmMorph),
             0,
         )
@@ -313,30 +303,17 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SideChannelR
         params,
         slow_counts: Vec::new(),
     };
-    let mut cores = vec![
-        CoreTiming::new(cfg.core),
-        CoreTiming::new(cfg.core),
-    ];
+    let mut cores = vec![CoreTiming::new(cfg.core), CoreTiming::new(cfg.core)];
     let mut preds = vec![BranchPredictor::new(), BranchPredictor::new()];
     let mut programs: Vec<(usize, &mut dyn ThreadProgram)> =
         vec![(victim_tile, &mut victim), (9, &mut attacker)];
-    let cycles = run_multicore(
-        &mut programs,
-        &mut cores,
-        &mut preds,
-        &mut sys,
-        50_000_000,
-    );
+    let cycles = run_multicore(&mut programs, &mut cores, &mut preds, &mut sys, 50_000_000);
 
     let interrupts = sys.stats_view().get(Counter::UserInterrupt);
     // The attacker infers a victim access whenever the round's slow-probe
     // count exceeds the self-eviction noise floor (the minimum count).
     let floor = attacker.slow_counts.iter().copied().min().unwrap_or(0);
-    let inferred: Vec<bool> = attacker
-        .slow_counts
-        .iter()
-        .map(|&c| c > floor)
-        .collect();
+    let inferred: Vec<bool> = attacker.slow_counts.iter().map(|&c| c > floor).collect();
     SideChannelResult {
         run: RunResult::collect(&sys, cycles),
         touched: victim.touched,
@@ -390,8 +367,7 @@ mod tests {
         // round, so the attacker's raw slow-probe counts are uniformly
         // nonzero and carry no secret-dependent information.
         let start = r.detected_at.expect("defense engaged") + 1;
-        let all_on =
-            (start..r.slow_counts.len()).all(|i| r.slow_counts[i] >= 1);
+        let all_on = (start..r.slow_counts.len()).all(|i| r.slow_counts[i] >= 1);
         assert!(
             all_on,
             "post-defense probes should be uniformly slow (no signal): {:?}",

@@ -16,9 +16,7 @@
 //! evicts the very column the Morph is building.
 
 use tako_core::{EngineCtx, Morph, MorphLevel, TakoSystem};
-use tako_cpu::{
-    run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram,
-};
+use tako_cpu::{run_single, CoreEnv, CoreTiming, MemSystem, StepResult, ThreadProgram};
 use tako_mem::addr::Addr;
 use tako_sim::config::{SystemConfig, LINE_BYTES};
 
@@ -41,8 +39,7 @@ pub enum Variant {
 
 impl Variant {
     /// All variants.
-    pub const ALL: [Variant; 3] =
-        [Variant::Aos, Variant::Tako, Variant::TakoNoTrrip];
+    pub const ALL: [Variant; 3] = [Variant::Aos, Variant::Tako, Variant::TakoNoTrrip];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -102,9 +99,7 @@ impl Morph for SoaMorph {
         let mut vals = [0u64; 8];
         let mut deps = Vec::with_capacity(8);
         for (i, v) in vals.iter_mut().enumerate() {
-            let addr = self.aos
-                + (first + i as u64) * STRUCT_BYTES
-                + self.field * 8;
+            let addr = self.aos + (first + i as u64) * STRUCT_BYTES + self.field * 8;
             let (x, d) = if self.streaming {
                 ctx.load_stream_u64(addr, &[dep])
             } else {
@@ -204,13 +199,7 @@ pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SoaResult {
         sum: 0,
     };
     let max_steps = 10 * params.elements * params.passes + 10_000;
-    let cycles = run_single(
-        0,
-        &mut prog,
-        CoreTiming::new(cfg.core),
-        &mut sys,
-        max_steps,
-    );
+    let cycles = run_single(0, &mut prog, CoreTiming::new(cfg.core), &mut sys, max_steps);
     SoaResult {
         run: RunResult::collect(&sys, cycles),
         sum: prog.sum,

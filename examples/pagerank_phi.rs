@@ -24,12 +24,7 @@ fn main() {
     cfg.llc_bank.size_bytes = 64 * 1024;
 
     let mut rng = Rng::new(params.seed);
-    let g = tako::graph::gen::power_law(
-        params.vertices,
-        params.edges,
-        params.theta,
-        &mut rng,
-    );
+    let g = tako::graph::gen::power_law(params.vertices, params.edges, params.theta, &mut rng);
     let reference = {
         let init = vec![1.0 / params.vertices as f64; params.vertices];
         pagerank::iteration(&g, &init)

@@ -68,13 +68,18 @@ fn main() -> Result<(), tako::core::TakoError> {
     let stats = sys.stats_view();
     println!("\nonMiss callbacks : {}", stats.get(Counter::CbOnMiss));
     println!("L1d hits         : {}", stats.get(Counter::L1dHit));
-    println!("DRAM accesses    : {} (phantom data never touches memory)",
-        stats.dram_accesses());
+    println!(
+        "DRAM accesses    : {} (phantom data never touches memory)",
+        stats.dram_accesses()
+    );
 
     // flushData: evict everything, then unregister.
     let done = sys.flush_data(handle, t);
     let (morph, _) = sys.unregister(handle, done)?;
     drop(morph);
-    println!("flushed {} lines", sys.stats_view().get(Counter::FlushedLines));
+    println!(
+        "flushed {} lines",
+        sys.stats_view().get(Counter::FlushedLines)
+    );
     Ok(())
 }

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -12,6 +15,9 @@ cargo test --workspace -q
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc"
+cargo doc --workspace --no-deps -q
 
 # Smoke the robustness contract: a small seeded campaign (6 scenarios
 # per case study) must complete with zero invariant violations, every

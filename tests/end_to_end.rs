@@ -50,12 +50,7 @@ fn a_morph_free_system_is_a_plain_multicore() {
         }
         let mut t = 0;
         for i in 0..4096u64 {
-            t = sys.timed_access(
-                0,
-                AccessKind::Read,
-                data.base + (i * 192) % data.size,
-                t,
-            );
+            t = sys.timed_access(0, AccessKind::Read, data.base + (i * 192) % data.size, t);
         }
         (t, sys.stats_view().dram_accesses())
     };
