@@ -13,13 +13,32 @@
 //!                       --keep-going contract)
 //! ```
 //!
+//! Supervised-campaign flags (see `tako_bench::campaign`):
+//!
+//! ```text
+//! --journal <dir>           journal the run: per-experiment .done
+//!                           records and in-experiment unit checkpoints
+//! --resume                  resume an interrupted campaign from the
+//!                           journal instead of starting fresh
+//! --deadline <secs>         wall-clock budget per experiment attempt;
+//!                           exceeded -> triage bundle + retry
+//! --retries <n>             retries per failed experiment, with a
+//!                           seeded deterministic backoff schedule
+//! --checkpoint-every <n>    sync the unit journal every n units
+//! --crash-after-units <n>   die after n journaled units (the
+//!                           interrupt/resume smoke's crash hook)
+//! ```
+//!
 //! The printed experiment output is byte-identical for every `--jobs`
-//! value; only the timing annotations and the JSON report vary.
+//! value — and for a journaled run whether it completed in one go or
+//! was interrupted and resumed; only the timing annotations and the
+//! JSON report vary.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use tako_bench::campaign::{run_campaign, CampaignOpts};
 use tako_bench::{
-    run_all, run_all_catch, validate_base_config, warn_unknown, ExperimentResult, Opts,
+    run_all, run_all_catch, validate_base_config, warn_unknown, ExperimentResult, Opts, EXPERIMENTS,
 };
 
 /// Flags specific to this binary, parsed from the leftovers of
@@ -28,6 +47,12 @@ struct BenchFlags {
     json_path: Option<String>,
     keep_going: bool,
     force_panic: Option<String>,
+    journal: Option<String>,
+    resume: bool,
+    deadline: Option<f64>,
+    retries: u32,
+    checkpoint_every: u64,
+    crash_after_units: Option<u64>,
 }
 
 fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
@@ -35,6 +60,12 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
         json_path: None,
         keep_going: false,
         force_panic: None,
+        journal: None,
+        resume: false,
+        deadline: None,
+        retries: 0,
+        checkpoint_every: 1,
+        crash_after_units: None,
     };
     let mut rest = Vec::new();
     let mut i = 0;
@@ -62,6 +93,47 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
                     eprintln!("warning: --force-panic needs a harness name");
                 }
             }
+            "--journal" => {
+                if let Some(p) = unknown.get(i + 1) {
+                    flags.journal = Some(p.clone());
+                    i += 1;
+                } else {
+                    eprintln!("warning: --journal needs a directory");
+                }
+            }
+            "--resume" => flags.resume = true,
+            "--deadline" => {
+                if let Some(v) = unknown.get(i + 1) {
+                    flags.deadline = v.parse().ok();
+                    i += 1;
+                } else {
+                    eprintln!("warning: --deadline needs seconds");
+                }
+            }
+            "--retries" => {
+                if let Some(v) = unknown.get(i + 1) {
+                    flags.retries = v.parse().unwrap_or(0);
+                    i += 1;
+                } else {
+                    eprintln!("warning: --retries needs a count");
+                }
+            }
+            "--checkpoint-every" => {
+                if let Some(v) = unknown.get(i + 1) {
+                    flags.checkpoint_every = v.parse::<u64>().unwrap_or(1).max(1);
+                    i += 1;
+                } else {
+                    eprintln!("warning: --checkpoint-every needs a count");
+                }
+            }
+            "--crash-after-units" => {
+                if let Some(v) = unknown.get(i + 1) {
+                    flags.crash_after_units = v.parse().ok();
+                    i += 1;
+                } else {
+                    eprintln!("warning: --crash-after-units needs a count");
+                }
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
@@ -75,12 +147,35 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (opts, unknown) = Opts::parse(&args);
     let flags = parse_bench_flags(unknown);
-    if flags.force_panic.is_some() && !flags.keep_going {
+    if flags.force_panic.is_some() && !flags.keep_going && flags.journal.is_none() {
         eprintln!("warning: --force-panic without --keep-going aborts the run");
     }
 
     let t0 = Instant::now();
-    let results: Vec<(&str, Result<ExperimentResult, String>)> = if flags.keep_going {
+    let results: Vec<(&str, Result<ExperimentResult, String>)> = if let Some(dir) = &flags.journal {
+        let c = CampaignOpts {
+            dir: dir.into(),
+            resume: flags.resume,
+            deadline: flags.deadline.map(Duration::from_secs_f64),
+            retries: flags.retries,
+            checkpoint_every: flags.checkpoint_every,
+            force_panic: flags.force_panic.clone(),
+            crash_after_units: flags.crash_after_units,
+        };
+        match run_campaign(opts, &c, EXPERIMENTS) {
+            Ok(outcome) => {
+                eprintln!(
+                    "campaign: {} replayed from journal, {} attempts executed",
+                    outcome.replayed, outcome.attempts
+                );
+                outcome.results
+            }
+            Err(e) => {
+                eprintln!("error: campaign journal: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if flags.keep_going {
         run_all_catch(opts, flags.force_panic.as_deref())
     } else {
         run_all(opts).into_iter().map(|r| (r.name, Ok(r))).collect()
@@ -128,6 +223,36 @@ fn main() {
     }
 }
 
+/// Measure snapshot encode/restore cost on a warmed default 16-core
+/// system, so BENCH_sim.json records what an epoch-boundary checkpoint
+/// actually costs relative to simulation throughput.
+fn checkpoint_overhead() -> (usize, f64, f64) {
+    use tako_core::TakoSystem;
+    use tako_cpu::{AccessKind, MemSystem};
+    let mut cfg = tako_sim::config::SystemConfig::default_16core();
+    cfg.watchdog.enabled = true;
+    let mut sys = TakoSystem::new(cfg);
+    let _ = sys.alloc_real(1 << 20);
+    let mut t = 0u64;
+    for k in 0..50_000u64 {
+        let addr = 0x1000_0000 + (k % (1 << 14)) * 64;
+        t = sys.timed_access((k % 16) as usize, AccessKind::Read, addr, t);
+    }
+    const REPS: u32 = 10;
+    let t0 = Instant::now();
+    let mut snap = Vec::new();
+    for _ in 0..REPS {
+        snap = sys.snapshot_bytes();
+    }
+    let snapshot_ms = t0.elapsed().as_secs_f64() * 1000.0 / f64::from(REPS);
+    let t1 = Instant::now();
+    for _ in 0..REPS {
+        sys.restore_bytes(&snap).expect("self-restore");
+    }
+    let restore_ms = t1.elapsed().as_secs_f64() * 1000.0 / f64::from(REPS);
+    (snap.len(), snapshot_ms, restore_ms)
+}
+
 /// Hand-rolled JSON (the workspace carries no serde): the throughput
 /// report consumed by EXPERIMENTS.md's benchmarking section.
 fn bench_json(
@@ -145,6 +270,11 @@ fn bench_json(
     s.push_str(&format!(
         "  \"accesses_per_sec\": {:.0},\n",
         accesses as f64 / total_wall_s.max(1e-9)
+    ));
+    let (snap_bytes, snap_ms, restore_ms) = checkpoint_overhead();
+    s.push_str(&format!(
+        "  \"checkpoint\": {{\"snapshot_bytes\": {snap_bytes}, \
+         \"snapshot_ms\": {snap_ms:.3}, \"restore_ms\": {restore_ms:.3}}},\n"
     ));
     s.push_str("  \"experiments\": {\n");
     for (i, r) in results.iter().enumerate() {

@@ -25,8 +25,12 @@
 //! ```
 
 use tako_bench::{run_variants, warn_unknown, Opts};
-use tako_sim::config::{SystemConfig, WatchdogConfig};
+use tako_core::TakoSystem;
+use tako_cpu::{AccessKind, MemSystem};
+use tako_sim::checkpoint::encode;
+use tako_sim::config::{CheckpointConfig, SystemConfig, WatchdogConfig};
 use tako_sim::fault::{FaultKind, FaultPlan};
+use tako_sim::rng::Rng;
 use tako_sim::stats::Counter;
 use tako_workloads::common::RunResult;
 use tako_workloads::{decompress, nvm, soa};
@@ -185,6 +189,21 @@ struct Verdict {
     problems: Vec<String>,
 }
 
+impl tako_sim::checkpoint::Record for Verdict {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.label.record(w);
+        self.problems.record(w);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(Verdict {
+            label: String::replay(r)?,
+            problems: Vec::replay(r)?,
+        })
+    }
+}
+
 fn check_scenario(
     case: &CaseStudy,
     idx: usize,
@@ -253,6 +272,58 @@ fn check_scenario(
         clean.cycles,
     );
     Verdict { label, problems }
+}
+
+/// Checkpoint-under-fault: snapshot a seeded run while `kind`'s fault
+/// plan is live (one event consumed, one pending), resume it in a fresh
+/// system, and require the final canonical snapshot bytes to match the
+/// uninterrupted run exactly — the injector cursor, the degraded state
+/// the fault left behind, and every counter must survive the round
+/// trip.
+fn checkpoint_under_fault(kind: FaultKind, opts: &Opts, watchdog_cycles: u64) -> bool {
+    let mut cfg = base_cfg(watchdog_cycles);
+    cfg.watchdog.epoch_cycles = 5_000;
+    cfg.checkpoint = Some(CheckpointConfig { every_epochs: 2 });
+    let mut plan = FaultPlan::seeded(opts.seed ^ kind as u64, &[kind], 2, 1, 20_000);
+    arm(&mut plan, watchdog_cycles);
+    cfg.faults = Some(plan);
+
+    fn drive(sys: &mut TakoSystem, rng: &mut Rng, t: u64) -> u64 {
+        let tile = rng.below(16) as usize;
+        let off = rng.below(1 << 12) * 8;
+        let ak = if rng.below(4) == 0 {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        sys.timed_access(tile, ak, 0x1000_0000 + off, t)
+    }
+
+    let (total, split) = (800, 400);
+    let mut sys = TakoSystem::new(cfg.clone());
+    let _ = sys.alloc_real(1 << 18);
+    let mut rng = Rng::new(opts.seed ^ 0xCC);
+    let (mut t, mut mid, mut mid_rng, mut mid_t) = (0u64, Vec::new(), rng.clone(), 0u64);
+    for i in 0..total {
+        if i == split {
+            mid = sys.snapshot_bytes();
+            mid_rng = rng.clone();
+            mid_t = t;
+        }
+        t = drive(&mut sys, &mut rng, t);
+    }
+    let reference = encode(&sys);
+
+    let mut sys2 = TakoSystem::new(cfg);
+    let _ = sys2.alloc_real(1 << 18);
+    if sys2.restore_bytes(&mid).is_err() {
+        return false;
+    }
+    let (mut rng2, mut t2) = (mid_rng, mid_t);
+    for _ in split..total {
+        t2 = drive(&mut sys2, &mut rng2, t2);
+    }
+    t2 == t && encode(&sys2) == reference
 }
 
 /// Noninterference: with faults disabled, the robustness machinery must
@@ -353,6 +424,21 @@ fn main() {
                 failed += 1;
                 println!("{}  FAILED: {}", v.label, v.problems.join("; "));
             }
+        }
+    }
+
+    // Checkpoint-under-fault: every fault kind's window must survive a
+    // snapshot/resume round trip byte-identically.
+    for kind in FaultKind::ALL {
+        total += 1;
+        let ok = checkpoint_under_fault(kind, &opts, flags.watchdog_cycles);
+        println!(
+            "checkpoint  kind={:<7} mid-window resume {}",
+            kind.name(),
+            if ok { "byte-identical" } else { "DIVERGED" }
+        );
+        if !ok {
+            failed += 1;
         }
     }
 

@@ -1,0 +1,587 @@
+//! Supervised campaign runner: persistent journal, resume, deadlines,
+//! bounded deterministic retries, and crash triage.
+//!
+//! A *campaign* is one `all_experiments` invocation with `--journal`.
+//! The journal directory holds:
+//!
+//! * `manifest.txt` — the campaign parameters (scale/paper/seed and the
+//!   experiment list). A resume into a differently parameterized
+//!   campaign is rejected before anything runs.
+//! * `<name>.done` — one versioned, checksummed record per completed
+//!   experiment: its full printed output and wall time. Resume replays
+//!   these verbatim instead of re-running (the output contract is
+//!   byte-identical either way).
+//! * `<name>.units` — in-experiment checkpoints: every completed
+//!   [`run_variants`](crate::run_variants) unit (one simulated variant)
+//!   is appended as a self-checking record. An interrupted experiment
+//!   resumes *mid-run*: completed units replay bit-exactly, only the
+//!   remainder simulates.
+//! * `<name>.triage.txt` — written when an attempt dies (panic or
+//!   deadline kill): the panic payload — which for a deadline kill is
+//!   the hierarchy's triage bundle (diagnostic snapshot, fault-plan
+//!   cursor, event-trace tail, last checkpoint id) — plus the unit
+//!   cursor and the exact command line that resumes the campaign.
+//! * `attempts.log` — one line per attempt with its outcome and the
+//!   deterministic backoff that preceded it.
+//!
+//! Failed experiments are retried up to `--retries` times with bounded
+//! exponential backoff. The schedule is *seeded and deterministic*:
+//! derived from the campaign seed, the experiment name, and the attempt
+//! number, never from wall-clock state, so a re-run of the same failing
+//! campaign produces the same journaled schedule.
+//!
+//! Deadlines ride the watchdog: the worker arms
+//! [`tako_sim::supervise`] before entering the experiment, and the
+//! hierarchy's epoch sweep probes it at every quiescent point — a
+//! stalled simulation is killed from *inside* (a panic carrying the
+//! triage bundle) at its next epoch boundary, without any second
+//! thread or signal machinery.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use tako_sim::checkpoint::{decode, encode, Record, SnapError, SnapReader, SnapWriter, Snapshot};
+use tako_sim::digest::Sha256;
+use tako_sim::parallel::parallel_map_catch;
+use tako_sim::rng::Rng;
+use tako_sim::supervise;
+
+use crate::{Experiment, ExperimentResult, Opts};
+
+// ---------------------------------------------------------------------
+// In-experiment unit journal
+// ---------------------------------------------------------------------
+
+/// Per-record magic for the append-only unit file ("UNT1").
+const UNIT_MAGIC: [u8; 4] = *b"UNT1";
+
+struct UnitJournal {
+    /// Completed units from a previous attempt, keyed by
+    /// (run_variants call sequence within the experiment, variant index).
+    replay: HashMap<(u64, u64), Vec<u8>>,
+    file: Option<File>,
+    path: PathBuf,
+    next_call: u64,
+    pending: u64,
+    flush_every: u64,
+    crash_after: Option<u64>,
+}
+
+thread_local! {
+    static JOURNAL: RefCell<Option<UnitJournal>> = const { RefCell::new(None) };
+}
+
+/// RAII scope for armed supervision; dropping disarms (including
+/// during a panic unwind, so a dead attempt's deadline never bleeds
+/// into the next experiment scheduled on the same worker thread).
+struct SuperviseScope(());
+
+impl SuperviseScope {
+    fn arm(deadline: Option<Duration>) -> Self {
+        supervise::arm(deadline);
+        SuperviseScope(())
+    }
+}
+
+impl Drop for SuperviseScope {
+    fn drop(&mut self) {
+        supervise::disarm();
+    }
+}
+
+/// RAII scope for an armed unit journal; dropping disarms (including
+/// during a panic unwind, so a dead attempt never leaks its journal
+/// into the next experiment scheduled on the same worker thread).
+pub struct UnitScope(());
+
+impl Drop for UnitScope {
+    fn drop(&mut self) {
+        JOURNAL.with(|j| *j.borrow_mut() = None);
+    }
+}
+
+/// Arm the calling thread's unit journal on `path`, replaying any
+/// complete records a previous attempt left there. `flush_every` is the
+/// `--checkpoint-every` cadence: how many fresh units may sit in OS
+/// buffers before the file is synced.
+///
+/// # Errors
+///
+/// Propagates I/O errors opening or reading the journal file. A
+/// *corrupt or truncated tail* is not an error: it is the expected
+/// debris of a crash and is discarded (the file is truncated to the
+/// last intact record).
+pub fn unit_journal(path: &Path, flush_every: u64) -> std::io::Result<UnitScope> {
+    let mut replay = HashMap::new();
+    let mut intact = 0u64;
+    if let Ok(mut f) = File::open(path) {
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        let mut at = 0usize;
+        while let Some((call, idx, payload, next)) = read_unit(&buf, at) {
+            replay.insert((call, idx), payload);
+            at = next;
+        }
+        intact = at as u64;
+    }
+    if path.exists() {
+        // Drop the crash tail so appends start at a record boundary.
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(intact)?;
+    }
+    JOURNAL.with(|j| {
+        *j.borrow_mut() = Some(UnitJournal {
+            replay,
+            file: None,
+            path: path.to_path_buf(),
+            next_call: 0,
+            pending: 0,
+            flush_every: flush_every.max(1),
+            crash_after: None,
+        })
+    });
+    Ok(UnitScope(()))
+}
+
+/// Parse one unit record at `at`; `None` on truncation or corruption
+/// (the reader stops there and the tail is discarded).
+fn read_unit(buf: &[u8], at: usize) -> Option<(u64, u64, Vec<u8>, usize)> {
+    let hdr = 4 + 8 + 8 + 8;
+    if buf.len() < at + hdr {
+        return None;
+    }
+    if buf[at..at + 4] != UNIT_MAGIC {
+        return None;
+    }
+    let g = |o: usize| u64::from_le_bytes(buf[at + o..at + o + 8].try_into().unwrap());
+    let (call, idx, len) = (g(4), g(12), g(20) as usize);
+    let start = at + hdr;
+    if buf.len() < start + len + 8 {
+        return None;
+    }
+    let payload = &buf[start..start + len];
+    let want = u64::from_le_bytes(buf[start + len..start + len + 8].try_into().unwrap());
+    if unit_checksum(payload) != want {
+        return None;
+    }
+    Some((call, idx, payload.to_vec(), start + len + 8))
+}
+
+/// First 8 bytes of the payload's SHA-256, as the per-record checksum.
+fn unit_checksum(payload: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(payload);
+    u64::from_le_bytes(h.finish()[..8].try_into().unwrap())
+}
+
+/// Hand out the next `run_variants` call id, or `None` when no journal
+/// is armed on this thread (the common, non-campaign path).
+pub(crate) fn next_call_id() -> Option<u64> {
+    JOURNAL.with(|j| {
+        j.borrow_mut().as_mut().map(|j| {
+            let c = j.next_call;
+            j.next_call += 1;
+            c
+        })
+    })
+}
+
+/// Replay unit `(call, idx)` from a previous attempt, if it completed.
+pub(crate) fn replay_unit<R: Record>(call: u64, idx: u64) -> Option<R> {
+    let bytes = JOURNAL.with(|j| {
+        j.borrow()
+            .as_ref()
+            .and_then(|j| j.replay.get(&(call, idx)).cloned())
+    })?;
+    let mut r = SnapReader::new(&bytes);
+    // A record that decodes wrong is treated as absent: the unit
+    // recomputes, which is always correct (just slower).
+    R::replay(&mut r).and_then(|v| r.finish().map(|()| v)).ok()
+}
+
+/// Append a completed unit to the journal and note it as the
+/// experiment's most recent checkpoint (named in deadline triage).
+pub(crate) fn record_unit<R: Record>(call: u64, idx: u64, value: &R) {
+    let mut w = SnapWriter::new();
+    value.record(&mut w);
+    let payload = w.into_bytes();
+    let crash = JOURNAL.with(|j| {
+        let mut j = j.borrow_mut();
+        let Some(j) = j.as_mut() else { return false };
+        let mut rec = Vec::with_capacity(payload.len() + 36);
+        rec.extend_from_slice(&UNIT_MAGIC);
+        rec.extend_from_slice(&call.to_le_bytes());
+        rec.extend_from_slice(&idx.to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec.extend_from_slice(&unit_checksum(&payload).to_le_bytes());
+        if j.file.is_none() {
+            j.file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&j.path)
+                .ok();
+        }
+        if let Some(f) = &mut j.file {
+            let _ = f.write_all(&rec);
+            j.pending += 1;
+            if j.pending >= j.flush_every {
+                let _ = f.sync_data();
+                j.pending = 0;
+            }
+        }
+        match &mut j.crash_after {
+            Some(0) => true,
+            Some(n) => {
+                *n -= 1;
+                *n == 0
+            }
+            None => false,
+        }
+    });
+    supervise::note_checkpoint(&format!("unit {call}.{idx}"));
+    if crash {
+        // The deterministic interrupt hook (--crash-after-units): dies
+        // *after* the unit is journaled, like a machine losing power
+        // between a checkpoint and the next one.
+        panic!("crashed by --crash-after-units (unit {call}.{idx} journaled)");
+    }
+}
+
+/// Arrange for the current journal scope to panic after `n` more units
+/// are recorded — the deterministic stand-in for yanking the process
+/// mid-experiment (used by the interrupt/resume smoke and tests).
+pub fn crash_after_units(n: u64) {
+    JOURNAL.with(|j| {
+        if let Some(j) = j.borrow_mut().as_mut() {
+            j.crash_after = Some(n);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Campaign journal (experiment granularity)
+// ---------------------------------------------------------------------
+
+/// Options for a supervised, journaled campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Journal directory.
+    pub dir: PathBuf,
+    /// Resume: keep completed experiments and in-experiment units from
+    /// a previous run of the same campaign.
+    pub resume: bool,
+    /// Wall-clock budget per experiment attempt; exceeded → the
+    /// hierarchy kills the run at its next epoch with a triage panic.
+    pub deadline: Option<Duration>,
+    /// Retries after the first failed attempt.
+    pub retries: u32,
+    /// Sync the unit journal every this many units.
+    pub checkpoint_every: u64,
+    /// Panic on entry of the named experiment (test hook, mirrors
+    /// `--force-panic`). Only the first attempt panics, so a retry
+    /// succeeds — which is exactly what the retry test wants.
+    pub force_panic: Option<String>,
+    /// Die after this many journaled units in each experiment that
+    /// runs (test hook behind `--crash-after-units`).
+    pub crash_after_units: Option<u64>,
+}
+
+impl CampaignOpts {
+    /// A campaign journaling into `dir` with everything else default:
+    /// fresh (no resume), no deadline, no retries, sync every unit.
+    pub fn fresh(dir: impl Into<PathBuf>) -> Self {
+        CampaignOpts {
+            dir: dir.into(),
+            resume: false,
+            deadline: None,
+            retries: 0,
+            checkpoint_every: 1,
+            force_panic: None,
+            crash_after_units: None,
+        }
+    }
+}
+
+/// What [`run_campaign`] hands back, beyond the per-experiment results.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// Per-experiment outcomes in table order. `Err` carries the final
+    /// failure message after all retries were exhausted.
+    pub results: Vec<(&'static str, Result<ExperimentResult, String>)>,
+    /// Experiments replayed from `.done` records without re-running.
+    pub replayed: usize,
+    /// Attempts actually executed (first tries + retries).
+    pub attempts: u64,
+}
+
+/// One completed experiment, journaled as a `.done` envelope.
+#[derive(Default)]
+struct DoneRecord {
+    name: String,
+    output: String,
+    wall_nanos: u64,
+    attempt: u32,
+}
+
+impl Snapshot for DoneRecord {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("done");
+        w.put_str(&self.name);
+        w.put_str(&self.output);
+        w.put_u64(self.wall_nanos);
+        w.put_u32(self.attempt);
+    }
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("done")?;
+        self.name = r.get_str()?;
+        self.output = r.get_str()?;
+        self.wall_nanos = r.get_u64()?;
+        self.attempt = r.get_u32()?;
+        Ok(())
+    }
+}
+
+fn manifest_text(opts: Opts, experiments: &[(&'static str, Experiment)]) -> String {
+    let names: Vec<&str> = experiments.iter().map(|(n, _)| *n).collect();
+    format!(
+        "scale={}\npaper={}\nseed={}\nexperiments={}\n",
+        opts.scale,
+        opts.paper,
+        opts.seed,
+        names.join(",")
+    )
+}
+
+/// FNV-1a of an experiment name, for the per-experiment backoff seed.
+fn name_hash(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |a, b| {
+        (a ^ b as u64).wrapping_mul(0x1_0000_0000_01b3)
+    })
+}
+
+/// The deterministic backoff (ms) that precedes `attempt` (1-based) of
+/// `name`: bounded exponential plus seeded jitter. Pure function of its
+/// arguments — a re-run journals the identical schedule.
+pub fn backoff_ms(seed: u64, name: &str, attempt: u32) -> u64 {
+    let base = (25u64 << (attempt - 1).min(6)).min(800);
+    base + Rng::new(seed ^ name_hash(name) ^ attempt as u64).below(25)
+}
+
+/// The command line that resumes this campaign, embedded in every
+/// triage bundle.
+fn resume_cmdline(opts: Opts, c: &CampaignOpts) -> String {
+    let mut s = format!(
+        "all_experiments --journal {} --resume --scale {} --seed {} --jobs {}",
+        c.dir.display(),
+        opts.scale,
+        opts.seed,
+        opts.jobs
+    );
+    if opts.paper {
+        s.push_str(" --paper");
+    }
+    if let Some(d) = c.deadline {
+        s.push_str(&format!(" --deadline {}", d.as_secs_f64()));
+    }
+    if c.retries > 0 {
+        s.push_str(&format!(" --retries {}", c.retries));
+    }
+    if c.checkpoint_every != 1 {
+        s.push_str(&format!(" --checkpoint-every {}", c.checkpoint_every));
+    }
+    s
+}
+
+fn append_line(path: &Path, line: &str) {
+    if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Atomically (tmp + rename) write `bytes` to `path`, so a crash during
+/// the write can never leave a half-record that later reads as done.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Run `experiments` as a supervised, journaled campaign.
+///
+/// # Errors
+///
+/// I/O errors on the journal directory, and a manifest mismatch when
+/// resuming into a campaign run with different parameters. Individual
+/// experiment failures are *not* errors: they are journaled, retried,
+/// and reported per-experiment in the outcome.
+pub fn run_campaign(
+    opts: Opts,
+    c: &CampaignOpts,
+    experiments: &[(&'static str, Experiment)],
+) -> std::io::Result<CampaignOutcome> {
+    std::fs::create_dir_all(&c.dir)?;
+    let manifest_path = c.dir.join("manifest.txt");
+    let manifest = manifest_text(opts, experiments);
+    if c.resume && manifest_path.exists() {
+        let prior = std::fs::read_to_string(&manifest_path)?;
+        if prior != manifest {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "--resume into a different campaign: journal has\n{prior}\
+                     but this invocation is\n{manifest}"
+                ),
+            ));
+        }
+    } else {
+        // Fresh campaign: clear any stale records so nothing replays.
+        for (name, _) in experiments {
+            for ext in ["done", "units", "triage.txt"] {
+                let _ = std::fs::remove_file(c.dir.join(format!("{name}.{ext}")));
+            }
+        }
+        let _ = std::fs::remove_file(c.dir.join("attempts.log"));
+        write_atomic(&manifest_path, manifest.as_bytes())?;
+    }
+
+    let mut results: Vec<(&'static str, Result<ExperimentResult, String>)> = Vec::new();
+    let mut todo: Vec<(&'static str, Experiment)> = Vec::new();
+    let mut replayed = 0usize;
+    for &(name, f) in experiments {
+        let done_path = c.dir.join(format!("{name}.done"));
+        let rec = std::fs::read(&done_path).ok().and_then(|bytes| {
+            let mut rec = DoneRecord::default();
+            decode(&bytes, &mut rec).ok().map(|()| rec)
+        });
+        match rec {
+            Some(rec) if rec.name == name => {
+                replayed += 1;
+                results.push((
+                    name,
+                    Ok(ExperimentResult {
+                        name,
+                        output: rec.output,
+                        wall: Duration::from_nanos(rec.wall_nanos),
+                    }),
+                ));
+            }
+            _ => {
+                // Placeholder keeps table order; filled below.
+                results.push((name, Err(String::from("never attempted"))));
+                todo.push((name, f));
+            }
+        }
+    }
+
+    let inner = opts.serial();
+    let log = c.dir.join("attempts.log");
+    let mut attempts = 0u64;
+    for attempt in 1..=(1 + c.retries) {
+        if todo.is_empty() {
+            break;
+        }
+        if attempt > 1 {
+            // Deterministic, bounded exponential backoff before each
+            // retry wave; the schedule is journaled so a post-mortem
+            // can see exactly when each attempt was eligible to run.
+            let mut wait = 0u64;
+            for (name, _) in &todo {
+                let b = backoff_ms(opts.seed, name, attempt);
+                append_line(&log, &format!("{name} attempt={attempt} backoff_ms={b}"));
+                wait = wait.max(b);
+            }
+            std::thread::sleep(Duration::from_millis(wait));
+        }
+        attempts += todo.len() as u64;
+        let force = if attempt == 1 {
+            c.force_panic.clone()
+        } else {
+            None
+        };
+        let dir = c.dir.clone();
+        let deadline = c.deadline;
+        let every = c.checkpoint_every;
+        let crash = if attempt == 1 {
+            c.crash_after_units
+        } else {
+            None
+        };
+        let batch = parallel_map_catch(opts.jobs, todo.clone(), move |_, (name, f)| {
+            let _units =
+                unit_journal(&dir.join(format!("{name}.units")), every).expect("unit journal");
+            if let Some(n) = crash {
+                crash_after_units(n);
+            }
+            let _sup = SuperviseScope::arm(deadline);
+            if Some(name) == force.as_deref() {
+                panic!("forced panic in {name} (--force-panic)");
+            }
+            let t0 = Instant::now();
+            let output = f(inner);
+            ExperimentResult {
+                name,
+                output,
+                wall: t0.elapsed(),
+            }
+        });
+
+        let mut still_failing = Vec::new();
+        for ((name, f), r) in todo.into_iter().zip(batch) {
+            match r {
+                Ok(res) => {
+                    let rec = DoneRecord {
+                        name: name.to_string(),
+                        output: res.output.clone(),
+                        wall_nanos: res.wall.as_nanos() as u64,
+                        attempt,
+                    };
+                    write_atomic(&c.dir.join(format!("{name}.done")), &encode(&rec))?;
+                    append_line(&log, &format!("{name} attempt={attempt} outcome=ok"));
+                    let slot = results.iter_mut().find(|(n, _)| *n == name).unwrap();
+                    slot.1 = Ok(res);
+                }
+                Err(msg) => {
+                    let units = units_on_disk(&c.dir.join(format!("{name}.units")));
+                    let triage = format!(
+                        "experiment: {name}\nattempt: {attempt} of {}\n\
+                         journaled units: {units}\n--- failure ---\n{msg}\n\
+                         --- resume ---\n{}\n",
+                        1 + c.retries,
+                        resume_cmdline(opts, c),
+                    );
+                    write_atomic(&c.dir.join(format!("{name}.triage.txt")), triage.as_bytes())?;
+                    append_line(&log, &format!("{name} attempt={attempt} outcome=failed"));
+                    let slot = results.iter_mut().find(|(n, _)| *n == name).unwrap();
+                    slot.1 = Err(msg);
+                    still_failing.push((name, f));
+                }
+            }
+        }
+        todo = still_failing;
+    }
+
+    Ok(CampaignOutcome {
+        results,
+        replayed,
+        attempts,
+    })
+}
+
+/// Count the intact unit records in a journal file (for triage).
+fn units_on_disk(path: &Path) -> u64 {
+    let Ok(buf) = std::fs::read(path) else {
+        return 0;
+    };
+    let mut n = 0u64;
+    let mut at = 0usize;
+    while let Some((_, _, _, next)) = read_unit(&buf, at) {
+        n += 1;
+        at = next;
+    }
+    n
+}

@@ -27,9 +27,11 @@
 
 use std::time::{Duration, Instant};
 
+use tako_sim::checkpoint::Record;
 use tako_sim::config::SystemConfig;
 use tako_sim::parallel::{default_jobs, parallel_map, parallel_map_catch};
 
+pub mod campaign;
 pub mod experiments;
 
 /// Validate the base system configuration every harness builds from,
@@ -140,12 +142,34 @@ pub fn warn_unknown(unknown: &[String]) {
 /// Run `f` over each variant on `opts.jobs` workers, returning results
 /// in `variants` order. Each simulation owns its `TakoSystem`, so runs
 /// are independent and the output is identical to the serial loop.
+///
+/// Under a supervised campaign (a [`campaign`] unit journal armed on
+/// this thread), every completed variant is journaled as a checkpoint
+/// unit and the loop runs serially: a crashed experiment resumes here
+/// by replaying already-journaled units bit-exactly and simulating only
+/// the remainder. Experiments run `opts.serial()` inside the campaign
+/// fan-out anyway, so the serial journaled loop changes nothing else.
 pub fn run_variants<V, R, F>(opts: Opts, variants: &[V], f: F) -> Vec<R>
 where
     V: Clone + Send,
-    R: Send,
+    R: Record + Send,
     F: Fn(V) -> R + Sync,
 {
+    if let Some(call) = campaign::next_call_id() {
+        return variants
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| match campaign::replay_unit::<R>(call, i as u64) {
+                Some(r) => r,
+                None => {
+                    let r = f(v);
+                    campaign::record_unit(call, i as u64, &r);
+                    r
+                }
+            })
+            .collect();
+    }
     parallel_map(opts.jobs, variants.to_vec(), |_, v| f(v))
 }
 

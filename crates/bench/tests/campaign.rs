@@ -1,0 +1,232 @@
+//! End-to-end tests for the supervised campaign runner: journaled
+//! resume at experiment and unit granularity, deadline kills with
+//! triage bundles, deterministic retry schedules, and manifest guards.
+//!
+//! The experiments here are synthetic `fn(Opts) -> String` harnesses
+//! with observable side effects (atomic counters), so the tests can
+//! prove the resume contract — *completed work is replayed, never
+//! recomputed* — rather than just eyeballing output equality. One test
+//! drives a real `TakoSystem` so the deadline kill exercises the
+//! hierarchy's watchdog-epoch probe and its triage bundle.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tako_bench::campaign::{backoff_ms, run_campaign, CampaignOpts};
+use tako_bench::{run_variants, Experiment, Opts};
+use tako_core::TakoSystem;
+use tako_cpu::{AccessKind, MemSystem};
+use tako_sim::config::SystemConfig;
+use tako_sim::rng::Rng;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tako-campaign-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts() -> Opts {
+    Opts {
+        scale: 1.0,
+        paper: false,
+        seed: 42,
+        jobs: 2,
+    }
+}
+
+// --- experiment-granularity resume ----------------------------------
+
+static ALPHA_RUNS: AtomicU64 = AtomicU64::new(0);
+
+fn exp_alpha(o: Opts) -> String {
+    ALPHA_RUNS.fetch_add(1, Ordering::SeqCst);
+    let out = run_variants(o, &[1u64, 2, 3], |v| v * v);
+    format!("alpha {out:?}\n")
+}
+
+fn exp_beta(o: Opts) -> String {
+    let out = run_variants(o, &[10u64, 20], |v| v + o.seed);
+    format!("beta {out:?}\n")
+}
+
+const RESUME_EXPS: &[(&str, Experiment)] = &[
+    ("alpha", exp_alpha as Experiment),
+    ("beta", exp_beta as Experiment),
+];
+
+#[test]
+fn failed_experiment_is_triaged_and_resume_skips_completed_work() {
+    let dir = tmp("resume");
+    // First invocation: beta dies (forced), alpha completes.
+    let mut c = CampaignOpts::fresh(&dir);
+    c.force_panic = Some("beta".into());
+    let first = run_campaign(opts(), &c, RESUME_EXPS).expect("campaign");
+    let alpha_out = first.results[0]
+        .1
+        .as_ref()
+        .expect("alpha ok")
+        .output
+        .clone();
+    assert_eq!(alpha_out, "alpha [1, 4, 9]\n");
+    let beta_err = first.results[1].1.as_ref().expect_err("beta failed");
+    assert!(
+        beta_err.contains("forced panic"),
+        "unexpected error: {beta_err}"
+    );
+
+    // The dead experiment left a triage bundle with the resume line.
+    let triage = std::fs::read_to_string(dir.join("beta.triage.txt")).expect("triage file");
+    assert!(triage.contains("forced panic in beta"), "triage: {triage}");
+    assert!(triage.contains("--resume"), "no resume line: {triage}");
+    assert!(triage.contains("--journal"), "no journal path: {triage}");
+
+    // Resume: alpha replays from its .done record (no re-run), beta
+    // executes and the campaign completes with byte-identical output.
+    let alpha_runs_before = ALPHA_RUNS.load(Ordering::SeqCst);
+    let mut c2 = CampaignOpts::fresh(&dir);
+    c2.resume = true;
+    let second = run_campaign(opts(), &c2, RESUME_EXPS).expect("resume");
+    assert_eq!(second.replayed, 1, "alpha should replay from the journal");
+    assert_eq!(
+        ALPHA_RUNS.load(Ordering::SeqCst),
+        alpha_runs_before,
+        "completed experiment was re-run on resume"
+    );
+    assert_eq!(
+        second.results[0].1.as_ref().expect("alpha").output,
+        alpha_out
+    );
+    assert_eq!(
+        second.results[1].1.as_ref().expect("beta").output,
+        format!("beta [{}, {}]\n", 10 + 42, 20 + 42)
+    );
+}
+
+// --- unit-granularity resume ----------------------------------------
+
+static GAMMA_UNITS: AtomicU64 = AtomicU64::new(0);
+
+fn exp_gamma(o: Opts) -> String {
+    let out = run_variants(o, &[0u64, 1, 2, 3, 4, 5], |v| {
+        GAMMA_UNITS.fetch_add(1, Ordering::SeqCst);
+        v * 7
+    });
+    format!("gamma {out:?}\n")
+}
+
+#[test]
+fn crash_mid_experiment_resumes_from_journaled_units() {
+    let dir = tmp("units");
+    let mut c = CampaignOpts::fresh(&dir);
+    c.crash_after_units = Some(3); // die with half the units journaled
+    c.retries = 1;
+    let before = GAMMA_UNITS.load(Ordering::SeqCst);
+    let out = run_campaign(opts(), &c, &[("gamma", exp_gamma as Experiment)]).expect("campaign");
+    let res = out.results[0].1.as_ref().expect("gamma recovered on retry");
+    assert_eq!(res.output, "gamma [0, 7, 14, 21, 28, 35]\n");
+    assert_eq!(out.attempts, 2, "one crash + one successful retry");
+    // 3 units computed before the crash, 3 after: the journaled ones
+    // replayed instead of recomputing (else this would be 9).
+    assert_eq!(GAMMA_UNITS.load(Ordering::SeqCst) - before, 6);
+    let triage = std::fs::read_to_string(dir.join("gamma.triage.txt")).expect("triage");
+    assert!(triage.contains("journaled units: 3"), "triage: {triage}");
+}
+
+// --- deadline kill through the hierarchy ----------------------------
+
+/// A real simulation long enough to cross many watchdog epochs; under a
+/// zero deadline the hierarchy kills it at the first epoch boundary
+/// with a triage panic.
+fn exp_slowpoke(_: Opts) -> String {
+    let mut cfg = SystemConfig::default_16core();
+    cfg.watchdog.epoch_cycles = 2_000;
+    let mut sys = TakoSystem::new(cfg);
+    let _r = sys.alloc_real(1 << 18);
+    let base = 0x1000_0000u64;
+    let mut rng = Rng::new(1);
+    let mut t = 0u64;
+    for _ in 0..5_000 {
+        let off = rng.below(1 << 12) * 8;
+        t = sys.timed_access(0, AccessKind::Read, base + off, t);
+    }
+    format!("slowpoke survived to cycle {t}\n")
+}
+
+#[test]
+fn deadline_kill_leaves_triage_bundle_and_deterministic_backoff() {
+    let dir = tmp("deadline");
+    let o = opts();
+    let mut c = CampaignOpts::fresh(&dir);
+    c.deadline = Some(Duration::ZERO);
+    c.retries = 1;
+    let out = run_campaign(o, &c, &[("slowpoke", exp_slowpoke as Experiment)]).expect("campaign");
+    let err = out.results[0].1.as_ref().expect_err("deadline must kill");
+    assert!(err.contains("deadline exceeded"), "error: {err}");
+
+    // The triage bundle carries the hierarchy's diagnostics and the
+    // exact command line that resumes the campaign.
+    let triage = std::fs::read_to_string(dir.join("slowpoke.triage.txt")).expect("triage");
+    for needle in [
+        "deadline exceeded",
+        "machine state",
+        "fault plan",
+        "--resume",
+    ] {
+        assert!(
+            triage.contains(needle),
+            "triage missing {needle:?}: {triage}"
+        );
+    }
+
+    // The retry schedule is journaled and derivable from the seed: a
+    // post-mortem (or a re-run) sees the identical backoff.
+    let log = std::fs::read_to_string(dir.join("attempts.log")).expect("attempts log");
+    let expect = format!(
+        "slowpoke attempt=2 backoff_ms={}",
+        backoff_ms(o.seed, "slowpoke", 2)
+    );
+    assert!(log.contains(&expect), "log missing {expect:?}: {log}");
+}
+
+// --- manifest guard and backoff properties --------------------------
+
+fn exp_trivial(_: Opts) -> String {
+    "trivial\n".to_string()
+}
+
+#[test]
+fn resume_into_a_different_campaign_is_rejected() {
+    let dir = tmp("manifest");
+    let exps = &[("trivial", exp_trivial as Experiment)];
+    run_campaign(opts(), &CampaignOpts::fresh(&dir), exps).expect("fresh campaign");
+    let mut c = CampaignOpts::fresh(&dir);
+    c.resume = true;
+    let skewed = Opts { seed: 7, ..opts() };
+    let err = run_campaign(skewed, &c, exps).expect_err("manifest mismatch must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}
+
+#[test]
+fn backoff_is_deterministic_bounded_and_growing() {
+    for attempt in 1..=8u32 {
+        let a = backoff_ms(42, "fig06", attempt);
+        let b = backoff_ms(42, "fig06", attempt);
+        assert_eq!(a, b, "backoff must be a pure function");
+        assert!(a < 1_000, "backoff unbounded: {a}ms at attempt {attempt}");
+    }
+    assert!(backoff_ms(42, "fig06", 4) > backoff_ms(42, "fig06", 1));
+    // Per-experiment jitter decorrelates retry waves: two experiments'
+    // full schedules should not be identical (a single attempt may
+    // collide — the jitter has only 25 buckets).
+    let sched = |name| {
+        (1..=6u32)
+            .map(|a| backoff_ms(42, name, a))
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(
+        sched("fig06"),
+        sched("fig07"),
+        "per-experiment jitter should decorrelate retry waves"
+    );
+}

@@ -13,7 +13,8 @@
 //! from the failure message into `GOLDEN_SHA256`, and say why in the
 //! commit message.
 
-use tako_bench::{run_all, Opts};
+use tako_bench::campaign::{run_campaign, CampaignOpts};
+use tako_bench::{run_all, Opts, EXPERIMENTS};
 use tako_sim::digest::Sha256;
 
 /// SHA-256 of the concatenated `name` + `output` of every experiment at
@@ -42,4 +43,42 @@ fn all_experiments_match_golden_digest() {
         "experiment output diverged from the golden capture \
          (actual digest: {actual})"
     );
+}
+
+/// The resume contract, pinned against the same digest: a campaign
+/// whose every experiment is crashed mid-run (after two journaled
+/// units) and then resumed must reproduce the golden output *exactly* —
+/// replayed units, recomputed tails, and replayed `.done` records are
+/// all byte-identical to an uninterrupted run.
+#[test]
+fn interrupted_and_resumed_campaign_matches_golden_digest() {
+    let dir = std::env::temp_dir().join(format!("tako-golden-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = Opts {
+        scale: 0.01,
+        paper: false,
+        seed: 0x7AC0,
+        jobs: 2,
+    };
+    let mut c = CampaignOpts::fresh(&dir);
+    c.crash_after_units = Some(2);
+    c.retries = 1;
+    let out = run_campaign(opts, &c, EXPERIMENTS).expect("campaign");
+    let mut h = Sha256::new();
+    for (name, r) in &out.results {
+        let r = r
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name} failed after retry: {e}"));
+        h.update(name.as_bytes());
+        h.update(b"\n");
+        h.update(r.output.as_bytes());
+        h.update(b"\n");
+    }
+    let actual = h.finish_hex();
+    assert_eq!(
+        actual, GOLDEN_SHA256,
+        "resumed campaign output diverged from the golden capture \
+         (actual digest: {actual})"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

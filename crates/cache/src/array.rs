@@ -412,6 +412,66 @@ impl CacheArray {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for CacheArray {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("array");
+        // Geometry is config-derived, not restored; it is written so load
+        // can verify the snapshot matches the rebuilt array.
+        w.put_u64(self.sets as u64);
+        w.put_u64(self.ways as u64);
+        w.put_u64(self.stamp);
+        w.put_len(self.entries.len());
+        for e in &self.entries {
+            w.put_u64(e.line);
+            w.put_bool(e.valid);
+            w.put_bool(e.dirty);
+            w.put_bool(e.morph);
+            w.put_u8(e.rrpv);
+            w.put_u64(e.lru_stamp);
+            w.put_u64(e.ready_at);
+            w.put_bool(e.prefetched);
+            w.put_bool(e.exclusive);
+            w.put_u64(e.sharers);
+            w.put_bool(e.owner.is_some());
+            w.put_u8(e.owner.unwrap_or(0));
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::SnapError;
+        r.section("array")?;
+        let sets = r.get_u64()?;
+        let ways = r.get_u64()?;
+        if sets != self.sets as u64 || ways != self.ways as u64 {
+            return Err(SnapError::StateMismatch(format!(
+                "cache array geometry: snapshot {sets}x{ways}, rebuilt {}x{}",
+                self.sets, self.ways
+            )));
+        }
+        self.stamp = r.get_u64()?;
+        r.get_len_expect("cache array entries", self.entries.len())?;
+        for e in &mut self.entries {
+            e.line = r.get_u64()?;
+            e.valid = r.get_bool()?;
+            e.dirty = r.get_bool()?;
+            e.morph = r.get_bool()?;
+            e.rrpv = r.get_u8()?;
+            e.lru_stamp = r.get_u64()?;
+            e.ready_at = r.get_u64()?;
+            e.prefetched = r.get_bool()?;
+            e.exclusive = r.get_bool()?;
+            e.sharers = r.get_u64()?;
+            let has_owner = r.get_bool()?;
+            let owner = r.get_u8()?;
+            e.owner = has_owner.then_some(owner);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -572,6 +632,63 @@ mod tests {
                 }
                 assert!(a.morph_invariant_holds());
             }
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_replacement_state() {
+        use tako_sim::checkpoint::{decode, encode};
+        let mut rng = Rng::new(0x54A9);
+        let mut a = tiny(ReplPolicy::Trrip);
+        for _ in 0..150 {
+            let addr = rng.below(48) * LINE_BYTES;
+            if a.probe(addr).is_some() {
+                a.touch(addr);
+            } else {
+                a.insert(
+                    addr,
+                    rng.chance(0.3),
+                    rng.chance(0.4),
+                    InsertKind::Demand,
+                    7,
+                );
+            }
+        }
+        let snap = encode(&a);
+        let mut b = tiny(ReplPolicy::Trrip);
+        decode(&snap, &mut b).unwrap();
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.stamp, b.stamp);
+        // Future behavior is identical, not just current tags.
+        for _ in 0..100 {
+            let addr = rng.below(48) * LINE_BYTES;
+            if a.probe(addr).is_some() {
+                assert_eq!(a.touch(addr), b.touch(addr));
+            } else {
+                assert_eq!(
+                    a.insert(addr, false, false, InsertKind::Demand, 9),
+                    b.insert(addr, false, false, InsertKind::Demand, 9)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_geometry() {
+        use tako_sim::checkpoint::{decode, encode, SnapError};
+        let a = tiny(ReplPolicy::Lru);
+        let snap = encode(&a);
+        let mut wrong = CacheArray::new(CacheConfig {
+            size_bytes: 16 * LINE_BYTES,
+            ways: 2,
+            tag_latency: 1,
+            data_latency: 1,
+            repl: ReplPolicy::Lru,
+            mshrs: 4,
+        });
+        match decode(&snap, &mut wrong) {
+            Err(SnapError::StateMismatch(msg)) => assert!(msg.contains("geometry")),
+            other => panic!("expected geometry mismatch, got {other:?}"),
         }
     }
 

@@ -146,6 +146,58 @@ impl MshrFile {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for MshrFile {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("mshr");
+        w.put_usize(self.capacity);
+        // Canonical order: HashMap iteration order is not deterministic,
+        // so entries are written sorted by address.
+        let mut entries: Vec<(Addr, Entry)> = self.entries.iter().map(|(a, e)| (*a, *e)).collect();
+        entries.sort_unstable_by_key(|(a, _)| *a);
+        w.put_len(entries.len());
+        for (addr, e) in entries {
+            w.put_u64(addr);
+            w.put_u64(e.completes_at);
+            w.put_bool(e.for_callback);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::SnapError;
+        r.section("mshr")?;
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(SnapError::StateMismatch(format!(
+                "MSHR capacity: snapshot {capacity}, rebuilt {}",
+                self.capacity
+            )));
+        }
+        let n = r.get_len()?;
+        if n > capacity {
+            return Err(SnapError::StateMismatch(format!(
+                "MSHR snapshot holds {n} entries but capacity is {capacity}"
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let addr = r.get_u64()?;
+            let completes_at = r.get_u64()?;
+            let for_callback = r.get_bool()?;
+            self.entries.insert(
+                addr,
+                Entry {
+                    completes_at,
+                    for_callback,
+                },
+            );
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +284,30 @@ mod tests {
         assert_eq!(m.drain(70), Some(60));
         assert!(m.can_alloc(true));
         assert_eq!(m.try_alloc(192, 200, true), MshrOutcome::Primary);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_outstanding_fills() {
+        use tako_sim::checkpoint::{decode, encode, SnapError};
+        let mut m = MshrFile::new(8);
+        m.try_alloc(0, 100, false);
+        m.try_alloc(64, 120, true);
+        m.try_alloc(640, 90, false);
+        let snap = encode(&m);
+        let mut n = MshrFile::new(8);
+        n.try_alloc(4096, 5, false); // stale state, must be overwritten
+        decode(&snap, &mut n).unwrap();
+        assert_eq!(n.len(), 3);
+        assert_eq!(n.inflight(64), Some(120));
+        assert_eq!(n.inflight(4096), None);
+        assert_eq!(n.callback_entries(), 1);
+        assert_eq!(n.earliest_completion(), Some(90));
+        // Capacity is structural: restoring into a different file is loud.
+        let mut wrong = MshrFile::new(4);
+        assert!(matches!(
+            decode(&snap, &mut wrong),
+            Err(SnapError::StateMismatch(_))
+        ));
     }
 
     #[test]

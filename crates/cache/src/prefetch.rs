@@ -146,6 +146,49 @@ impl StridePrefetcher {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for StridePrefetcher {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("prefetch");
+        w.put_u64(self.clock);
+        // Vec order is preserved verbatim: slot position breaks LRU ties
+        // during eviction, so a canonical re-sort would perturb timing.
+        w.put_len(self.streams.len());
+        for s in &self.streams {
+            w.put_u64(s.region);
+            w.put_u64(s.last_line);
+            w.put_i64(s.stride);
+            w.put_u32(s.confidence);
+            w.put_u64(s.lru);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::SnapError;
+        r.section("prefetch")?;
+        self.clock = r.get_u64()?;
+        let n = r.get_len()?;
+        if n > TABLE_SLOTS {
+            return Err(SnapError::StateMismatch(format!(
+                "prefetcher snapshot holds {n} streams but the table has {TABLE_SLOTS} slots"
+            )));
+        }
+        self.streams.clear();
+        for _ in 0..n {
+            self.streams.push(Stream {
+                region: r.get_u64()?,
+                last_line: r.get_u64()?,
+                stride: r.get_i64()?,
+                confidence: r.get_u32()?,
+                lru: r.get_u64()?,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +254,23 @@ mod tests {
         assert!(p.observe(128).is_empty()); // retrains from scratch
         assert!(p.observe(192).is_empty());
         assert!(!p.observe(256).is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_keeps_training() {
+        use tako_sim::checkpoint::{decode, encode};
+        let mut p = pf();
+        p.observe(0);
+        p.observe(64); // confidence 1 — one access short of firing
+        let snap = encode(&p);
+        let mut q = pf();
+        q.observe(1 << 20); // stale stream, must be overwritten
+        decode(&snap, &mut q).unwrap();
+        // The restored prefetcher fires on the very next access, exactly
+        // like the original.
+        assert_eq!(p.observe(128), q.observe(128));
+        assert_eq!(q.observe(192).as_slice(), [256, 320, 384, 448]);
+        assert!(q.observe((1 << 20) + 64).is_empty());
     }
 
     #[test]

@@ -235,6 +235,128 @@ impl Engine {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for Rtlb {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("rtlb");
+        w.put_usize(self.capacity);
+        w.put_u64(self.clock);
+        let mut entries: Vec<(u64, u64)> = self.entries.iter().map(|(p, s)| (*p, *s)).collect();
+        entries.sort_unstable();
+        w.put_len(entries.len());
+        for (page, stamp) in entries {
+            w.put_u64(page);
+            w.put_u64(stamp);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::SnapError;
+        r.section("rtlb")?;
+        let capacity = r.get_usize()?;
+        if capacity != self.capacity {
+            return Err(SnapError::StateMismatch(format!(
+                "rTLB capacity: snapshot {capacity}, rebuilt {}",
+                self.capacity
+            )));
+        }
+        self.clock = r.get_u64()?;
+        let n = r.get_len()?;
+        self.entries.clear();
+        for _ in 0..n {
+            let page = r.get_u64()?;
+            let stamp = r.get_u64()?;
+            self.entries.insert(page, stamp);
+        }
+        Ok(())
+    }
+}
+
+impl tako_sim::checkpoint::Snapshot for Engine {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("engine");
+        self.fabric.save(w);
+        self.l1d.save(w);
+        self.rtlb.save(w);
+        w.put_len(self.wc_lines.len());
+        for l in &self.wc_lines {
+            w.put_u64(*l);
+        }
+        // Callback-buffer slots: heap order is arbitrary, write sorted.
+        let mut slots: Vec<Cycle> = self.slots.iter().map(|Reverse(c)| *c).collect();
+        slots.sort_unstable();
+        w.put_len(slots.len());
+        for c in slots {
+            w.put_u64(c);
+        }
+        let mut locks: Vec<(Addr, Cycle)> = self.line_locks.iter().map(|(a, c)| (*a, *c)).collect();
+        locks.sort_unstable();
+        w.put_len(locks.len());
+        for (a, c) in locks {
+            w.put_u64(a);
+            w.put_u64(c);
+        }
+        let mut last: Vec<(MorphId, Cycle)> =
+            self.morph_last.iter().map(|(m, c)| (*m, *c)).collect();
+        last.sort_unstable();
+        w.put_len(last.len());
+        for (m, c) in last {
+            w.put_usize(m);
+            w.put_u64(c);
+        }
+        // Bitstream-cache order is LRU state: preserved verbatim.
+        w.put_len(self.bitstreams.len());
+        for m in &self.bitstreams {
+            w.put_usize(*m);
+        }
+        w.put_u64(self.callbacks_run);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        r.section("engine")?;
+        self.fabric.load(r)?;
+        self.l1d.load(r)?;
+        self.rtlb.load(r)?;
+        let n = r.get_len()?;
+        self.wc_lines.clear();
+        for _ in 0..n {
+            self.wc_lines.push(r.get_u64()?);
+        }
+        let n = r.get_len_expect("callback-buffer slots", self.slots.len())?;
+        let mut slots = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            slots.push(Reverse(r.get_u64()?));
+        }
+        self.slots = slots;
+        let n = r.get_len()?;
+        self.line_locks.clear();
+        for _ in 0..n {
+            let a = r.get_u64()?;
+            let c = r.get_u64()?;
+            self.line_locks.insert(a, c);
+        }
+        let n = r.get_len()?;
+        self.morph_last.clear();
+        for _ in 0..n {
+            let m = r.get_usize()?;
+            let c = r.get_u64()?;
+            self.morph_last.insert(m, c);
+        }
+        let n = r.get_len()?;
+        self.bitstreams.clear();
+        for _ in 0..n {
+            self.bitstreams.push(r.get_usize()?);
+        }
+        self.callbacks_run = r.get_u64()?;
+        Ok(())
+    }
+}
+
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use tako_mem::addr::AddrRange;
+use tako_sim::checkpoint::SnapError;
 use tako_sim::config::ConfigError;
 
 /// Errors returned by Morph registration and management (Sec 4.1).
@@ -49,6 +50,9 @@ pub enum TakoError {
     },
     /// The system configuration failed validation.
     InvalidConfig(ConfigError),
+    /// A checkpoint could not be restored (corrupt envelope, version
+    /// skew, or state that contradicts the rebuilt configuration).
+    BadSnapshot(SnapError),
 }
 
 impl fmt::Display for TakoError {
@@ -87,6 +91,9 @@ impl fmt::Display for TakoError {
             TakoError::InvalidConfig(e) => {
                 write!(f, "invalid configuration: {e}")
             }
+            TakoError::BadSnapshot(e) => {
+                write!(f, "cannot restore snapshot: {e}")
+            }
         }
     }
 }
@@ -96,6 +103,12 @@ impl Error for TakoError {}
 impl From<ConfigError> for TakoError {
     fn from(e: ConfigError) -> Self {
         TakoError::InvalidConfig(e)
+    }
+}
+
+impl From<SnapError> for TakoError {
+    fn from(e: SnapError) -> Self {
+        TakoError::BadSnapshot(e)
     }
 }
 
@@ -133,6 +146,8 @@ mod tests {
         .contains("watchdog"));
         let e: TakoError = ConfigError::NoDramControllers.into();
         assert!(e.to_string().contains("invalid configuration"));
+        let e: TakoError = SnapError::BadMagic.into();
+        assert!(e.to_string().contains("cannot restore snapshot"));
     }
 
     #[test]

@@ -77,8 +77,9 @@ use tako_mem::addr::Addr;
 use tako_mem::backing::PhysMem;
 use tako_mem::dram::Dram;
 use tako_noc::Mesh;
+use tako_sim::checkpoint::{SnapError, SnapReader, SnapWriter, Snapshot};
 use tako_sim::config::{SystemConfig, LINE_BYTES};
-use tako_sim::event::{AccountingBus, CbPhase, TxnEvent, TxnSink};
+use tako_sim::event::{AccountingBus, CbPhase, SinkTap, TxnEvent, TxnSink};
 use tako_sim::fault::{FaultInjector, FaultKind};
 use tako_sim::{Cycle, TileId};
 
@@ -144,6 +145,10 @@ pub struct Hierarchy {
     pub mshrs: Vec<MshrFile>,
     /// Runtime invariant watchdog and forward-progress detector.
     pub watchdog: Watchdog,
+    /// Raised by the epoch sweep when the checkpoint cadence
+    /// (`cfg.checkpoint`) elapses; the driver drains it with
+    /// [`Hierarchy::take_checkpoint_due`] at the next quiescent point.
+    ckpt_due: bool,
 }
 
 impl Hierarchy {
@@ -168,8 +173,16 @@ impl Hierarchy {
         let mshrs = (0..cfg.tiles)
             .map(|_| MshrFile::new(cfg.llc_bank.mshrs.max(2) as usize))
             .collect();
+        let mut bus = AccountingBus::new(FaultInjector::new(cfg.faults.as_ref()));
+        // Under campaign supervision, keep a ring of recent pipeline
+        // events so a deadline kill or panic can show what the machine
+        // was doing. The tap is diagnostic-only: simulation observables
+        // never read it, so attaching it cannot perturb timing.
+        if tako_sim::supervise::armed() {
+            bus.tap = SinkTap::Trace(Box::default());
+        }
         Hierarchy {
-            bus: AccountingBus::new(FaultInjector::new(cfg.faults.as_ref())),
+            bus,
             mem: PhysMem::new(),
             dram: Dram::new(cfg.mem),
             mesh: Mesh::new(cfg.mesh, cfg.noc),
@@ -183,8 +196,17 @@ impl Hierarchy {
             callback_depth: 0,
             mshrs,
             watchdog: Watchdog::new(cfg.watchdog),
+            ckpt_due: false,
             cfg,
         }
+    }
+
+    /// True once per elapsed checkpoint interval: the epoch sweep raises
+    /// the flag, the driver drains it here and takes the snapshot. The
+    /// probe itself is a branch and a bool store — no allocation — so an
+    /// armed-but-idle checkpoint config costs nothing on the walk.
+    pub fn take_checkpoint_due(&mut self) -> bool {
+        std::mem::take(&mut self.ckpt_due)
     }
 
     /// Zero a line in the backing store (the controller zeroes phantom
@@ -247,7 +269,7 @@ impl Hierarchy {
         // bitstream, so the Morph degrades before the callback starts.
         if self
             .bus
-            .poll_fault(arrival, FaultKind::FabricExhaustion)
+            .poll_fault_at(arrival, FaultKind::FabricExhaustion, engine_tile)
             .is_some()
         {
             self.quarantine_morph(morph_id, "fabric capacity exhausted");
@@ -281,8 +303,12 @@ impl Hierarchy {
         }));
         // Injected callback misbehavior, applied through the same ctx the
         // Morph uses so the timing and suppression paths are the real ones.
-        let overrun = self.bus.poll_fault(start, FaultKind::CallbackOverrun);
-        let illegal = self.bus.poll_fault(start, FaultKind::IllegalAction);
+        let overrun = self
+            .bus
+            .poll_fault_at(start, FaultKind::CallbackOverrun, engine_tile);
+        let illegal = self
+            .bus
+            .poll_fault_at(start, FaultKind::IllegalAction, engine_tile);
         let (result, violation) = {
             let mut ctx = EngineCtx::new(
                 self,
@@ -343,5 +369,145 @@ impl Hierarchy {
         if self.registry.quarantine(id, reason) {
             self.bus.emit(TxnEvent::MorphQuarantined);
         }
+    }
+}
+
+impl Snapshot for Hierarchy {
+    /// The whole machine, component by component. Snapshots are taken at
+    /// epoch boundaries — the only guaranteed quiescent points: no walk
+    /// is in flight, every engine is checked in, `callback_depth` is
+    /// zero. Structure (tile count, geometries, capacities) is rebuilt
+    /// from config by [`Hierarchy::new`] and *verified* by each
+    /// component's `load`, never restored, so resuming into a mismatched
+    /// config fails loudly. The bus tap (event trace) is diagnostic-only
+    /// and re-armed by the driver rather than serialized.
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("hierarchy");
+        self.bus.stats.save(w);
+        self.bus.faults.save(w);
+        self.mem.save(w);
+        self.dram.save(w);
+        self.mesh.save(w);
+        w.put_len(self.tiles.len());
+        for t in &self.tiles {
+            t.l1d.save(w);
+            t.l2.save(w);
+            t.prefetcher.save(w);
+        }
+        w.put_len(self.llc.len());
+        for bank in &self.llc {
+            bank.save(w);
+        }
+        w.put_len(self.llc_next_free.len());
+        for c in &self.llc_next_free {
+            w.put_u64(*c);
+        }
+        self.registry.save(w);
+        w.put_len(self.engines.len());
+        for e in &self.engines {
+            w.put_bool(e.is_some());
+            if let Some(e) = e {
+                e.save(w);
+            }
+        }
+        w.put_len(self.interrupts.len());
+        for i in &self.interrupts {
+            w.put_usize(i.tile);
+            w.put_u64(i.cycle);
+            w.put_u64(i.line);
+        }
+        w.put_len(self.pending_callbacks.len());
+        for (tile, morph, kind, line, at) in &self.pending_callbacks {
+            w.put_usize(*tile);
+            w.put_usize(*morph);
+            w.put_u8(match kind {
+                CallbackKind::OnMiss => 0,
+                CallbackKind::OnEviction => 1,
+                CallbackKind::OnWriteback => 2,
+            });
+            w.put_u64(*line);
+            w.put_u64(*at);
+        }
+        w.put_usize(self.callback_depth);
+        w.put_len(self.mshrs.len());
+        for m in &self.mshrs {
+            m.save(w);
+        }
+        self.watchdog.save(w);
+        w.put_bool(self.ckpt_due);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("hierarchy")?;
+        self.bus.stats.load(r)?;
+        self.bus.faults.load(r)?;
+        self.mem.load(r)?;
+        self.dram.load(r)?;
+        self.mesh.load(r)?;
+        r.get_len_expect("tiles", self.tiles.len())?;
+        for t in &mut self.tiles {
+            t.l1d.load(r)?;
+            t.l2.load(r)?;
+            t.prefetcher.load(r)?;
+        }
+        r.get_len_expect("LLC banks", self.llc.len())?;
+        for bank in &mut self.llc {
+            bank.load(r)?;
+        }
+        r.get_len_expect("LLC bank ports", self.llc_next_free.len())?;
+        for c in &mut self.llc_next_free {
+            *c = r.get_u64()?;
+        }
+        self.registry.load(r)?;
+        r.get_len_expect("engines", self.engines.len())?;
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            let occupied = r.get_bool()?;
+            if occupied != e.is_some() {
+                return Err(SnapError::StateMismatch(format!(
+                    "engine {i}: snapshot occupied={occupied}, rebuilt \
+                     occupied={} (snapshot taken mid-callback?)",
+                    e.is_some()
+                )));
+            }
+            if let Some(e) = e {
+                e.load(r)?;
+            }
+        }
+        let n = r.get_len()?;
+        self.interrupts.clear();
+        for _ in 0..n {
+            self.interrupts.push(Interrupt {
+                tile: r.get_usize()?,
+                cycle: r.get_u64()?,
+                line: r.get_u64()?,
+            });
+        }
+        let n = r.get_len()?;
+        self.pending_callbacks.clear();
+        for _ in 0..n {
+            let tile = r.get_usize()?;
+            let morph = r.get_usize()?;
+            let kind = match r.get_u8()? {
+                0 => CallbackKind::OnMiss,
+                1 => CallbackKind::OnEviction,
+                2 => CallbackKind::OnWriteback,
+                tag => {
+                    return Err(SnapError::StateMismatch(format!(
+                        "unknown callback kind tag {tag}"
+                    )))
+                }
+            };
+            let line = r.get_u64()?;
+            let at = r.get_u64()?;
+            self.pending_callbacks.push((tile, morph, kind, line, at));
+        }
+        self.callback_depth = r.get_usize()?;
+        r.get_len_expect("LLC MSHR files", self.mshrs.len())?;
+        for m in &mut self.mshrs {
+            m.load(r)?;
+        }
+        self.watchdog.load(r)?;
+        self.ckpt_due = r.get_bool()?;
+        Ok(())
     }
 }

@@ -88,6 +88,63 @@ impl Hierarchy {
         if delta > 0 {
             self.bus.emit(TxnEvent::InvariantViolations(delta));
         }
+        // Checkpoint cadence piggybacks on the epoch sweep: the epoch
+        // boundary is the hierarchy's only guaranteed quiescent point
+        // (no walk in flight, engines checked in). Raising the flag is a
+        // branch and a bool store — the armed-but-idle cost is zero
+        // allocations on the walk (pinned by `no_alloc.rs`).
+        if let Some(ck) = &self.cfg.checkpoint {
+            if self.watchdog.epochs_run().is_multiple_of(ck.every_epochs) {
+                self.ckpt_due = true;
+            }
+        }
+        // Supervised deadline probe: wall-clock only, checked at epoch
+        // cadence so an arbitrarily stalled walk still gets killed at
+        // the next completed access. The panic payload is the triage
+        // bundle; the campaign runner catches it and journals it.
+        if tako_sim::supervise::armed() {
+            if let Some((budget, elapsed)) = tako_sim::supervise::deadline_exceeded() {
+                panic!("{}", self.deadline_triage(now, budget, elapsed));
+            }
+        }
+    }
+
+    /// The crash-triage bundle for a deadline kill: where the machine
+    /// was, what it was doing (event-trace tail), how far the fault plan
+    /// had advanced, and the last checkpoint to resume from.
+    fn deadline_triage(
+        &self,
+        now: Cycle,
+        budget: std::time::Duration,
+        elapsed: std::time::Duration,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "deadline exceeded: {:.1}s elapsed against a {:.1}s budget at cycle {now}",
+            elapsed.as_secs_f64(),
+            budget.as_secs_f64()
+        );
+        let snap = self
+            .watchdog
+            .snapshot()
+            .cloned()
+            .unwrap_or_else(|| self.diagnostic_snapshot(now, 0));
+        let _ = writeln!(s, "machine state: {snap:?}");
+        let _ = writeln!(s, "fault plan: {}", self.bus.faults.cursor());
+        if let Some(trace) = self.bus.trace() {
+            let _ = writeln!(s, "event tail: {}", trace.render());
+        }
+        match tako_sim::supervise::last_checkpoint() {
+            Some(id) => {
+                let _ = writeln!(s, "last checkpoint: {id}");
+            }
+            None => {
+                let _ = writeln!(s, "last checkpoint: none (restart from scratch)");
+            }
+        }
+        s
     }
 
     /// Structured machine-state dump for the first detected stall.

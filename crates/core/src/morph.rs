@@ -89,6 +89,27 @@ pub trait Morph {
     fn serialize_callbacks(&self) -> bool {
         false
     }
+
+    /// Serialize Morph-local mutable state into a checkpoint. Morphs
+    /// whose callbacks keep no state outside simulated memory (the
+    /// common case — counters and work lists usually live in phantom or
+    /// real ranges, which the backing store snapshots) can keep the
+    /// default, which writes nothing.
+    fn save_state(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`Morph::save_state`]. The registry
+    /// frames each Morph's bytes, so a Morph that reads more or less
+    /// than it wrote fails the resume loudly instead of corrupting its
+    /// neighbours.
+    fn load_state(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A registered Morph, as returned by `register_*`. Software threads use
@@ -238,6 +259,88 @@ impl MorphRegistry {
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl tako_sim::checkpoint::Snapshot for MorphRegistry {
+    /// Boxed Morph objects cannot be rebuilt from bytes; a resume
+    /// re-registers the same Morphs first (structure comes from the
+    /// driver), then this load verifies every slot matches the snapshot
+    /// — range, level, home tile — and restores the mutable bits:
+    /// quarantine status and each Morph's [`Morph::save_state`] payload.
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("registry");
+        w.put_len(self.entries.len());
+        for slot in &self.entries {
+            w.put_bool(slot.is_some());
+            let Some(e) = slot else { continue };
+            w.put_u64(e.range.base);
+            w.put_u64(e.range.size);
+            w.put_u8(match e.level {
+                MorphLevel::Private => 0,
+                MorphLevel::Shared => 1,
+            });
+            w.put_usize(e.home_tile);
+            w.put_bool(e.quarantined.is_some());
+            w.put_str(e.quarantined.as_deref().unwrap_or(""));
+            // Frame the Morph's own state so a buggy save/load pair
+            // cannot desynchronize the rest of the snapshot.
+            let mut state = tako_sim::checkpoint::SnapWriter::new();
+            if let Some(m) = &e.morph {
+                m.save_state(&mut state);
+            }
+            w.put_bytes(state.as_bytes());
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::{SnapError, SnapReader};
+        r.section("registry")?;
+        r.get_len_expect("morph registry slots", self.entries.len())?;
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            let occupied = r.get_bool()?;
+            if occupied != slot.is_some() {
+                return Err(SnapError::StateMismatch(format!(
+                    "morph slot {i}: snapshot occupied={occupied}, rebuilt occupied={}",
+                    slot.is_some()
+                )));
+            }
+            let Some(e) = slot else { continue };
+            let range = AddrRange {
+                base: r.get_u64()?,
+                size: r.get_u64()?,
+            };
+            let level = match r.get_u8()? {
+                0 => MorphLevel::Private,
+                1 => MorphLevel::Shared,
+                x => {
+                    return Err(SnapError::StateMismatch(format!(
+                        "morph slot {i}: unknown level tag {x}"
+                    )))
+                }
+            };
+            let home_tile = r.get_usize()?;
+            if range != e.range || level != e.level || home_tile != e.home_tile {
+                return Err(SnapError::StateMismatch(format!(
+                    "morph slot {i}: snapshot ({range:?}, {level:?}, tile {home_tile}) \
+                     does not match re-registration ({:?}, {:?}, tile {})",
+                    e.range, e.level, e.home_tile
+                )));
+            }
+            let has_quarantine = r.get_bool()?;
+            let reason = r.get_str()?;
+            e.quarantined = has_quarantine.then_some(reason);
+            let state = r.get_bytes()?;
+            let mut sr = SnapReader::new(state);
+            if let Some(m) = &mut e.morph {
+                m.load_state(&mut sr)?;
+            }
+            sr.finish()?;
+        }
+        Ok(())
     }
 }
 

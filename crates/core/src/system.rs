@@ -8,7 +8,9 @@
 use tako_cpu::{AccessKind, MemSystem};
 use tako_mem::addr::{Addr, AddrRange, Allocator};
 use tako_mem::backing::PhysMem;
+use tako_sim::checkpoint::{self, SnapError, SnapReader, SnapWriter, Snapshot};
 use tako_sim::config::SystemConfig;
+use tako_sim::digest::Sha256;
 use tako_sim::energy::{EnergyBreakdown, EnergyModel};
 use tako_sim::stats::Stats;
 use tako_sim::{Cycle, TileId};
@@ -290,12 +292,81 @@ impl TakoSystem {
         self.energy.tally(&self.hier.bus.stats)
     }
 
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// A short fingerprint of the configuration, embedded in every
+    /// snapshot so a resume into a differently parameterized system is
+    /// rejected before any component state is touched.
+    fn config_fingerprint(cfg: &SystemConfig) -> String {
+        let mut h = Sha256::new();
+        h.update(format!("{cfg:?}").as_bytes());
+        let d = h.finish();
+        d[..8].iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Serialize the entire system — hierarchy, allocator, and config
+    /// fingerprint — into a versioned, checksummed snapshot envelope.
+    /// Call only at a quiescent point (between accesses); the campaign
+    /// runner uses the watchdog epoch boundary signalled by
+    /// [`TakoSystem::take_checkpoint_due`].
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        checkpoint::encode(self)
+    }
+
+    /// Restore a snapshot produced by [`TakoSystem::snapshot_bytes`]
+    /// into this freshly built system. The caller must first rebuild the
+    /// system from the *same configuration* and re-register the same
+    /// Morphs in the same order — object structure (geometries, engine
+    /// fabrics, Morph code) is reconstructed from config, then verified
+    /// against the snapshot; only mutable state is restored.
+    ///
+    /// # Errors
+    ///
+    /// [`TakoError::BadSnapshot`] on a corrupt or truncated envelope,
+    /// version skew, or any component whose rebuilt structure contradicts
+    /// the snapshot (wrong geometry, missing Morph, config mismatch).
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), TakoError> {
+        checkpoint::decode(bytes, self)?;
+        Ok(())
+    }
+
+    /// True once per elapsed checkpoint interval (`cfg.checkpoint`);
+    /// see [`Hierarchy::take_checkpoint_due`].
+    pub fn take_checkpoint_due(&mut self) -> bool {
+        self.hier.take_checkpoint_due()
+    }
+
     /// Functional read of a `u64` *with timing*, as a one-off core access
     /// from `tile` at cycle `now` (useful in tests and docs). Returns the
     /// value and the completion cycle.
     pub fn debug_read_u64(&mut self, tile: TileId, addr: Addr, now: Cycle) -> (u64, Cycle) {
         let done = self.hier.core_access(tile, AccessKind::Read, addr, now);
         (self.hier.mem.read_u64(addr), done)
+    }
+}
+
+impl Snapshot for TakoSystem {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("tako");
+        w.put_str(&Self::config_fingerprint(&self.hier.cfg));
+        self.alloc.save(w);
+        self.hier.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("tako")?;
+        let fp = r.get_str()?;
+        let ours = Self::config_fingerprint(&self.hier.cfg);
+        if fp != ours {
+            return Err(SnapError::StateMismatch(format!(
+                "config fingerprint: snapshot {fp}, rebuilt {ours}"
+            )));
+        }
+        self.alloc.load(r)?;
+        self.hier.load(r)?;
+        Ok(())
     }
 }
 

@@ -219,6 +219,107 @@ impl Watchdog {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for Watchdog {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("watchdog");
+        w.put_u64(self.next_epoch);
+        w.put_u64(self.epochs_run);
+        w.put_u64(self.violation_count);
+        w.put_len(self.violations.len());
+        for v in &self.violations {
+            w.put_str(v);
+        }
+        w.put_bool(self.stall.is_some());
+        let (lat, bound) = self.stall.unwrap_or((0, 0));
+        w.put_u64(lat);
+        w.put_u64(bound);
+        w.put_bool(self.prev_progress.is_some());
+        for p in self.prev_progress.unwrap_or([0; 4]) {
+            w.put_u64(p);
+        }
+        w.put_bool(self.snapshot.is_some());
+        if let Some(s) = &self.snapshot {
+            w.put_u64(s.cycle);
+            w.put_u64(s.latency);
+            w.put_u64(s.bound);
+            w.put_len(s.l2_occupancy.len());
+            for o in &s.l2_occupancy {
+                w.put_usize(*o);
+            }
+            w.put_len(s.llc_occupancy.len());
+            for o in &s.llc_occupancy {
+                w.put_usize(*o);
+            }
+            w.put_len(s.mshrs.len());
+            for m in &s.mshrs {
+                w.put_usize(m.len);
+                w.put_usize(m.for_callback);
+                w.put_usize(m.capacity);
+            }
+            w.put_usize(s.pending_callbacks);
+            w.put_usize(s.quarantined_morphs);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        r.section("watchdog")?;
+        self.next_epoch = r.get_u64()?;
+        self.epochs_run = r.get_u64()?;
+        self.violation_count = r.get_u64()?;
+        let n = r.get_len()?;
+        self.violations.clear();
+        for _ in 0..n {
+            self.violations.push(r.get_str()?);
+        }
+        let has_stall = r.get_bool()?;
+        let stall = (r.get_u64()?, r.get_u64()?);
+        self.stall = has_stall.then_some(stall);
+        let has_progress = r.get_bool()?;
+        let mut progress = [0u64; 4];
+        for p in &mut progress {
+            *p = r.get_u64()?;
+        }
+        self.prev_progress = has_progress.then_some(progress);
+        self.snapshot = if r.get_bool()? {
+            let cycle = r.get_u64()?;
+            let latency = r.get_u64()?;
+            let bound = r.get_u64()?;
+            let mut l2_occupancy = Vec::new();
+            for _ in 0..r.get_len()? {
+                l2_occupancy.push(r.get_usize()?);
+            }
+            let mut llc_occupancy = Vec::new();
+            for _ in 0..r.get_len()? {
+                llc_occupancy.push(r.get_usize()?);
+            }
+            let mut mshrs = Vec::new();
+            for _ in 0..r.get_len()? {
+                mshrs.push(MshrSnapshot {
+                    len: r.get_usize()?,
+                    for_callback: r.get_usize()?,
+                    capacity: r.get_usize()?,
+                });
+            }
+            Some(DiagnosticSnapshot {
+                cycle,
+                latency,
+                bound,
+                l2_occupancy,
+                llc_occupancy,
+                mshrs,
+                pending_callbacks: r.get_usize()?,
+                quarantined_morphs: r.get_usize()?,
+            })
+        } else {
+            None
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

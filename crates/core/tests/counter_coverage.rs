@@ -96,16 +96,19 @@ fn mixed_campaign_touches_every_pipeline_counter() {
                 at: 0,
                 kind: FaultKind::FabricExhaustion,
                 magnitude: 0,
+                site: None,
             },
             FaultEvent {
                 at: 0,
                 kind: FaultKind::MshrPressure,
                 magnitude: 64,
+                site: None,
             },
             FaultEvent {
                 at: 0,
                 kind: FaultKind::DelayedDram,
                 magnitude: 400_000,
+                site: None,
             },
         ],
     });

@@ -151,6 +151,36 @@ impl Allocator {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for Allocator {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("alloc");
+        w.put_u64(self.next_real);
+        w.put_u64(self.next_phantom);
+        w.put_len(self.allocated.len());
+        for r in &self.allocated {
+            w.put_u64(r.base);
+            w.put_u64(r.size);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        r.section("alloc")?;
+        self.next_real = r.get_u64()?;
+        self.next_phantom = r.get_u64()?;
+        let n = r.get_len()?;
+        self.allocated.clear();
+        for _ in 0..n {
+            let base = r.get_u64()?;
+            let size = r.get_u64()?;
+            self.allocated.push(AddrRange { base, size });
+        }
+        Ok(())
+    }
+}
+
 impl Default for Allocator {
     fn default() -> Self {
         Self::new()

@@ -72,6 +72,28 @@ impl Dram {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for Dram {
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("dram");
+        w.put_len(self.next_free.len());
+        for c in &self.next_free {
+            w.put_u64(*c);
+        }
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        r.section("dram")?;
+        r.get_len_expect("DRAM controllers", self.next_free.len())?;
+        for c in &mut self.next_free {
+            *c = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,33 @@ impl Mesh {
     }
 }
 
+impl tako_sim::checkpoint::Snapshot for Mesh {
+    /// The mesh holds no mutable state; the snapshot records its geometry
+    /// so a resume into a differently shaped system fails loudly instead
+    /// of silently re-routing traffic.
+    fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        w.section("mesh");
+        w.put_usize(self.dims.0);
+        w.put_usize(self.dims.1);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<(), tako_sim::checkpoint::SnapError> {
+        use tako_sim::checkpoint::SnapError;
+        r.section("mesh")?;
+        let dims = (r.get_usize()?, r.get_usize()?);
+        if dims != self.dims {
+            return Err(SnapError::StateMismatch(format!(
+                "mesh geometry: snapshot {}x{}, rebuilt {}x{}",
+                dims.0, dims.1, self.dims.0, self.dims.1
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -381,6 +381,28 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Knobs of deterministic checkpointing (`tako-sim::checkpoint`).
+///
+/// Checkpointing piggybacks on watchdog epochs: when armed, the
+/// hierarchy raises a checkpoint-due flag every `every_epochs` watchdog
+/// epochs and the driver serializes the system at the next quiescent
+/// point. Like the watchdog, it is observational — simulated timing and
+/// counters are identical with checkpointing armed or disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Watchdog epochs between checkpoint-due flags. Must be nonzero;
+    /// [`SystemConfig::validate`] rejects 0 (it would request a
+    /// checkpoint at every epoch boundary and is always a typo for
+    /// "disabled", which is spelled `checkpoint: None`).
+    pub every_epochs: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { every_epochs: 4 }
+    }
+}
+
 /// A rejected configuration, from [`SystemConfig::validate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -419,6 +441,17 @@ pub enum ConfigError {
     NoCallbackBuffer,
     /// The per-callback instruction budget is zero.
     NoCallbackBudget,
+    /// `checkpoint.every_epochs` is zero (disable checkpointing with
+    /// `checkpoint: None` instead).
+    ZeroCheckpointInterval,
+    /// A fault-plan event is addressed to a site (tile/bank index)
+    /// outside the configured mesh.
+    FaultSiteOutOfRange {
+        /// The offending site index.
+        site: usize,
+        /// Configured tile count (valid sites are `0..tiles`).
+        tiles: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -455,6 +488,18 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NoCallbackBudget => {
                 write!(f, "callback instruction budget is zero")
             }
+            ConfigError::ZeroCheckpointInterval => {
+                write!(
+                    f,
+                    "checkpoint interval is zero epochs (use `checkpoint: None` to disable)"
+                )
+            }
+            ConfigError::FaultSiteOutOfRange { site, tiles } => {
+                write!(
+                    f,
+                    "fault event addressed to site {site}, but the mesh has only {tiles} tiles"
+                )
+            }
         }
     }
 }
@@ -486,6 +531,9 @@ pub struct SystemConfig {
     pub engine: EngineConfig,
     /// Runtime invariant watchdog.
     pub watchdog: WatchdogConfig,
+    /// Optional deterministic checkpointing; `None` (the default) never
+    /// raises a checkpoint-due flag and adds zero overhead.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Optional deterministic fault plan; `None` (the default) injects
     /// nothing and leaves the simulation byte-identical.
     pub faults: Option<FaultPlan>,
@@ -506,6 +554,7 @@ impl SystemConfig {
             mem: MemConfig::default(),
             engine: EngineConfig::default_5x5(),
             watchdog: WatchdogConfig::default(),
+            checkpoint: None,
             faults: None,
         }
     }
@@ -582,6 +631,23 @@ impl SystemConfig {
         }
         if self.engine.callback_instr_budget == 0 {
             return Err(ConfigError::NoCallbackBudget);
+        }
+        if let Some(ckpt) = &self.checkpoint {
+            if ckpt.every_epochs == 0 {
+                return Err(ConfigError::ZeroCheckpointInterval);
+            }
+        }
+        if let Some(plan) = &self.faults {
+            for ev in &plan.events {
+                if let Some(site) = ev.site {
+                    if site >= self.tiles {
+                        return Err(ConfigError::FaultSiteOutOfRange {
+                            site,
+                            tiles: self.tiles,
+                        });
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -715,6 +781,47 @@ mod tests {
         let mut cfg = base();
         cfg.engine.callback_instr_budget = 0;
         assert_eq!(cfg.validate(), Err(ConfigError::NoCallbackBudget));
+
+        let mut cfg = base();
+        cfg.checkpoint = Some(CheckpointConfig { every_epochs: 0 });
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroCheckpointInterval));
+
+        let mut cfg = base();
+        let mut plan = FaultPlan::empty();
+        plan.events.push(crate::fault::FaultEvent {
+            at: 1,
+            kind: crate::fault::FaultKind::DelayedDram,
+            magnitude: 100,
+            site: Some(16),
+        });
+        cfg.faults = Some(plan);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::FaultSiteOutOfRange {
+                site: 16,
+                tiles: 16
+            })
+        );
+        // The same plan addressed inside the mesh is fine.
+        let mut cfg = base();
+        let mut plan = FaultPlan::empty();
+        plan.events.push(crate::fault::FaultEvent {
+            at: 1,
+            kind: crate::fault::FaultKind::DelayedDram,
+            magnitude: 100,
+            site: Some(15),
+        });
+        cfg.faults = Some(plan);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn checkpoint_config_validates() {
+        let mut cfg = SystemConfig::default_16core();
+        assert_eq!(cfg.checkpoint, None);
+        cfg.checkpoint = Some(CheckpointConfig::default());
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(CheckpointConfig::default().every_epochs, 4);
     }
 
     #[test]
@@ -734,6 +841,18 @@ mod tests {
         assert_eq!(
             ConfigError::NoDramControllers.to_string(),
             "memory system has zero DRAM controllers"
+        );
+        assert_eq!(
+            ConfigError::ZeroCheckpointInterval.to_string(),
+            "checkpoint interval is zero epochs (use `checkpoint: None` to disable)"
+        );
+        assert_eq!(
+            ConfigError::FaultSiteOutOfRange {
+                site: 99,
+                tiles: 16
+            }
+            .to_string(),
+            "fault event addressed to site 99, but the mesh has only 16 tiles"
         );
     }
 

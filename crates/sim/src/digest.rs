@@ -69,8 +69,8 @@ impl Sha256 {
         }
     }
 
-    /// Finish and return the digest as lowercase hex.
-    pub fn finish_hex(mut self) -> String {
+    /// Finish and return the raw 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
         self.update(&[0x80]);
         while self.buf_len != 56 {
@@ -79,9 +79,18 @@ impl Sha256 {
         self.total_len = 0; // padding must not grow the length field
         self.update(&bit_len.to_be_bytes());
         debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Finish and return the digest as lowercase hex.
+    pub fn finish_hex(self) -> String {
         let mut out = String::with_capacity(64);
-        for word in self.state {
-            out.push_str(&format!("{word:08x}"));
+        for byte in self.finish() {
+            out.push_str(&format!("{byte:02x}"));
         }
         out
     }

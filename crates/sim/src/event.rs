@@ -189,12 +189,75 @@ impl TxnSink for Stats {
     }
 }
 
+/// Capacity of the [`EventTrace`] ring buffer.
+pub const TRACE_CAPACITY: usize = 64;
+
+/// A fixed-capacity ring buffer over the last [`TRACE_CAPACITY`]
+/// [`TxnEvent`]s, for crash triage: when a supervised experiment is
+/// killed (panic, deadline, watchdog stall), the tail of the event
+/// stream shows what the pipeline was doing per stage right before
+/// death. Recording is allocation-free (a slot write and two adds);
+/// rendering only happens on the triage path.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    ring: [Option<TxnEvent>; TRACE_CAPACITY],
+    total: u64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        EventTrace {
+            ring: [None; TRACE_CAPACITY],
+            total: 0,
+        }
+    }
+}
+
+impl EventTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total events observed (not just the retained tail).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The retained tail, oldest first.
+    pub fn tail(&self) -> impl Iterator<Item = TxnEvent> + '_ {
+        let n = (self.total as usize).min(TRACE_CAPACITY);
+        let start = self.total as usize - n;
+        (start..self.total as usize).filter_map(move |i| self.ring[i % TRACE_CAPACITY])
+    }
+
+    /// Render the tail for a triage bundle, one event per line with its
+    /// stream position.
+    pub fn render(&self) -> String {
+        let n = (self.total as usize).min(TRACE_CAPACITY);
+        let start = self.total as usize - n;
+        let mut out = format!("event tail ({n} of {} total):\n", self.total);
+        for (pos, ev) in (start..).zip(self.tail()) {
+            out.push_str(&format!("  [{pos}] {ev:?}\n"));
+        }
+        out
+    }
+}
+
+impl TxnSink for EventTrace {
+    #[inline(always)]
+    fn emit(&mut self, ev: TxnEvent) {
+        self.ring[self.total as usize % TRACE_CAPACITY] = Some(ev);
+        self.total += 1;
+    }
+}
+
 /// An optional extra subscriber slot on the bus.
 ///
 /// An enum (not a `Box<dyn TxnSink>`) so the common case — no tap —
 /// costs one discriminant test and the bus stays `Clone`-free of heap
-/// indirection. New subscriber kinds (a ring-buffer tracer, a
-/// per-interval metrics aggregator) are added as variants.
+/// indirection. New subscriber kinds (a per-interval metrics
+/// aggregator) are added as variants.
 #[derive(Debug, Clone, Default)]
 pub enum SinkTap {
     /// No extra subscriber (the default; the hot path's only cost is
@@ -203,6 +266,9 @@ pub enum SinkTap {
     None,
     /// Live energy metering (see [`EnergyAccumulator`]).
     Energy(EnergyAccumulator),
+    /// Ring-buffer event tracer for crash triage (see [`EventTrace`]);
+    /// attached while a supervised campaign runs.
+    Trace(Box<EventTrace>),
 }
 
 impl TxnSink for SinkTap {
@@ -211,6 +277,7 @@ impl TxnSink for SinkTap {
         match self {
             SinkTap::None => {}
             SinkTap::Energy(acc) => acc.emit(ev),
+            SinkTap::Trace(trace) => trace.emit(ev),
         }
     }
 }
@@ -247,6 +314,28 @@ impl AccountingBus {
     /// is skipped).
     pub fn faults_inert(&self) -> bool {
         self.faults.is_inert()
+    }
+
+    /// Like [`TxnSink::poll_fault`], but at a specific site (tile or
+    /// LLC-bank index): fires un-addressed events *and* events
+    /// addressed to `site`. Pipeline stages that know where they are
+    /// use this so site-addressed fault plans land where they say.
+    #[inline]
+    pub fn poll_fault_at(&mut self, now: Cycle, kind: FaultKind, site: usize) -> Option<u64> {
+        let hit = self.faults.poll_at(now, kind, site);
+        if hit.is_some() {
+            self.emit(TxnEvent::FaultInjected);
+        }
+        hit
+    }
+
+    /// The triage tail of the event stream, when a [`SinkTap::Trace`]
+    /// is attached.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        match &self.tap {
+            SinkTap::Trace(t) => Some(t.as_ref()),
+            _ => None,
+        }
     }
 }
 
@@ -322,6 +411,42 @@ mod tests {
         assert!(bus.faults_inert());
         assert_eq!(bus.poll_fault(u64::MAX, FaultKind::MshrPressure), None);
         assert_eq!(bus.stats.get(Counter::FaultInjected), 0);
+    }
+
+    #[test]
+    fn trace_tap_keeps_a_bounded_tail() {
+        let mut bus = AccountingBus::new(FaultInjector::new(None));
+        bus.tap = SinkTap::Trace(Box::new(EventTrace::new()));
+        for i in 0..(TRACE_CAPACITY as u64 + 10) {
+            bus.emit(TxnEvent::NocHops { flits: i, hops: 1 });
+        }
+        let trace = bus.trace().expect("trace tap attached");
+        assert_eq!(trace.total(), TRACE_CAPACITY as u64 + 10);
+        let tail: Vec<TxnEvent> = trace.tail().collect();
+        assert_eq!(tail.len(), TRACE_CAPACITY);
+        assert_eq!(tail[0], TxnEvent::NocHops { flits: 10, hops: 1 });
+        let rendered = trace.render();
+        assert!(rendered.contains("event tail"));
+        assert!(rendered.contains("NocHops"));
+        // Tracing must not perturb counting.
+        assert_eq!(
+            bus.stats.get(Counter::NocFlitHops),
+            (0..(TRACE_CAPACITY as u64 + 10)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn site_aware_poll_respects_addressing() {
+        let mut plan = FaultPlan::single(0, FaultKind::MshrPressure, 5);
+        plan.events[0].site = Some(7);
+        let mut bus = AccountingBus::new(FaultInjector::new(Some(&plan)));
+        assert_eq!(bus.poll_fault(1_000, FaultKind::MshrPressure), None);
+        assert_eq!(bus.poll_fault_at(1_000, FaultKind::MshrPressure, 0), None);
+        assert_eq!(
+            bus.poll_fault_at(1_000, FaultKind::MshrPressure, 7),
+            Some(5)
+        );
+        assert_eq!(bus.stats.get(Counter::FaultInjected), 1);
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// Kind-specific severity (see [`FaultKind::default_magnitude`]).
     pub magnitude: u64,
+    /// The tile/LLC-bank the fault is addressed to, or `None` for
+    /// "wherever the next poll happens". Plans naming a site outside
+    /// the configured mesh are rejected by
+    /// [`SystemConfig::validate`](crate::config::SystemConfig::validate)
+    /// instead of silently never firing.
+    pub site: Option<usize>,
 }
 
 /// A seeded, deterministic schedule of faults.
@@ -114,6 +120,7 @@ impl FaultPlan {
                 at,
                 kind,
                 magnitude,
+                site: None,
             }],
         }
     }
@@ -137,6 +144,7 @@ impl FaultPlan {
                     at: lo + rng.below(hi - lo),
                     kind,
                     magnitude: kind.default_magnitude(),
+                    site: None,
                 }
             })
             .collect();
@@ -201,14 +209,30 @@ impl FaultInjector {
         self.events.is_empty()
     }
 
-    /// Fire the first due, untaken event of `kind` at cycle `now`,
-    /// returning its magnitude.
+    /// Fire the first due, untaken, un-addressed event of `kind` at
+    /// cycle `now`, returning its magnitude. Events addressed to a
+    /// specific site only fire through [`FaultInjector::poll_at`].
     pub fn poll(&mut self, now: Cycle, kind: FaultKind) -> Option<u64> {
+        self.poll_where(now, kind, None)
+    }
+
+    /// Fire the first due, untaken event of `kind` at cycle `now` that
+    /// is either un-addressed or addressed to `site` (a tile/LLC-bank
+    /// index), returning its magnitude.
+    pub fn poll_at(&mut self, now: Cycle, kind: FaultKind, site: usize) -> Option<u64> {
+        self.poll_where(now, kind, Some(site))
+    }
+
+    fn poll_where(&mut self, now: Cycle, kind: FaultKind, site: Option<usize>) -> Option<u64> {
         if self.events.is_empty() {
             return None;
         }
         for (i, ev) in self.events.iter().enumerate() {
-            if !self.taken[i] && ev.kind == kind && ev.at <= now {
+            let addressed_here = match ev.site {
+                None => true,
+                Some(s) => site == Some(s),
+            };
+            if !self.taken[i] && ev.kind == kind && ev.at <= now && addressed_here {
                 self.taken[i] = true;
                 self.fired += 1;
                 return Some(ev.magnitude);
@@ -225,6 +249,44 @@ impl FaultInjector {
     /// How many scheduled faults have not fired yet.
     pub fn pending(&self) -> usize {
         self.taken.iter().filter(|t| !**t).count()
+    }
+
+    /// One-line cursor summary (`fired/scheduled`) for triage bundles.
+    pub fn cursor(&self) -> String {
+        format!(
+            "{} fired, {} pending of {}",
+            self.fired,
+            self.pending(),
+            self.events.len()
+        )
+    }
+}
+
+impl crate::checkpoint::Snapshot for FaultInjector {
+    /// The injector's *cursor* — which scheduled events have fired — is
+    /// the mutable state; the events themselves are rebuilt from the
+    /// plan in `SystemConfig::faults`, and `load` verifies the count
+    /// matches.
+    fn save(&self, w: &mut crate::checkpoint::SnapWriter) {
+        w.section("fault");
+        w.put_len(self.taken.len());
+        for t in &self.taken {
+            w.put_bool(*t);
+        }
+        w.put_u64(self.fired);
+    }
+
+    fn load(
+        &mut self,
+        r: &mut crate::checkpoint::SnapReader<'_>,
+    ) -> Result<(), crate::checkpoint::SnapError> {
+        r.section("fault")?;
+        let n = r.get_len_expect("fault.taken", self.taken.len())?;
+        for i in 0..n {
+            self.taken[i] = r.get_bool()?;
+        }
+        self.fired = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -305,6 +367,42 @@ mod tests {
         assert!(FaultPlan::parse("1:dram:zzz").is_err());
         assert!(FaultPlan::parse("1").is_err());
         assert!(FaultPlan::parse("1:dram:2:3").is_err());
+    }
+
+    #[test]
+    fn site_addressed_events_fire_only_at_their_site() {
+        let mut plan = FaultPlan::single(10, FaultKind::MshrPressure, 4);
+        plan.events[0].site = Some(3);
+        let mut inj = FaultInjector::new(Some(&plan));
+        assert_eq!(inj.poll(100, FaultKind::MshrPressure), None);
+        assert_eq!(inj.poll_at(100, FaultKind::MshrPressure, 2), None);
+        assert_eq!(inj.poll_at(100, FaultKind::MshrPressure, 3), Some(4));
+        assert_eq!(inj.poll_at(200, FaultKind::MshrPressure, 3), None);
+    }
+
+    #[test]
+    fn unaddressed_events_fire_at_any_site() {
+        let plan = FaultPlan::single(10, FaultKind::DelayedDram, 7);
+        let mut inj = FaultInjector::new(Some(&plan));
+        assert_eq!(inj.poll_at(100, FaultKind::DelayedDram, 5), Some(7));
+    }
+
+    #[test]
+    fn cursor_snapshot_roundtrip() {
+        let plan = FaultPlan::seeded(4, &FaultKind::ALL, 10, 1, 1_000);
+        let mut inj = FaultInjector::new(Some(&plan));
+        inj.poll(2_000, FaultKind::DelayedDram);
+        inj.poll(2_000, FaultKind::MshrPressure);
+        let env = crate::checkpoint::encode(&inj);
+        let mut fresh = FaultInjector::new(Some(&plan));
+        crate::checkpoint::decode(&env, &mut fresh).unwrap();
+        assert_eq!(fresh.fired(), inj.fired());
+        assert_eq!(fresh.pending(), inj.pending());
+        assert_eq!(fresh.taken, inj.taken);
+        // A cursor from a differently sized plan is rejected.
+        let other = FaultPlan::seeded(4, &FaultKind::ALL, 3, 1, 1_000);
+        let mut wrong = FaultInjector::new(Some(&other));
+        assert!(crate::checkpoint::decode(&env, &mut wrong).is_err());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * [`parallel`] — a std-only fork-join worker pool with deterministic,
 //!   input-ordered result collection, used by the benchmark harnesses to
 //!   fan independent simulations across cores.
+//! * [`checkpoint`] — the versioned, checksummed snapshot format and the
+//!   [`checkpoint::Snapshot`] trait every stateful component implements;
+//!   resume-from-snapshot is byte-identical to an uninterrupted run.
+//! * [`supervise`] — thread-local deadline/triage plumbing between the
+//!   supervised campaign runner and the hierarchy's watchdog epochs.
 //!
 //! Time is measured in [`Cycle`]s (2.4 GHz in the default configuration).
 //!
@@ -38,6 +43,7 @@
 //! assert_eq!(stats.get(Counter::DramRead), 1);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod digest;
 pub mod energy;
@@ -46,6 +52,7 @@ pub mod fault;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod supervise;
 
 /// A simulated clock cycle. The default system runs at 2.4 GHz.
 pub type Cycle = u64;

@@ -7,6 +7,7 @@
 //! attributed to the active phase for the per-phase breakdown figures
 //! (Figs 14 and 17).
 
+use crate::checkpoint::{Record, SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::Cycle;
 
 macro_rules! counters {
@@ -348,6 +349,95 @@ impl Default for Stats {
     }
 }
 
+impl Snapshot for LatencyHistogram {
+    fn save(&self, w: &mut SnapWriter) {
+        for b in self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.sum);
+        w.put_u64(self.count);
+        w.put_u64(self.max);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for b in &mut self.buckets {
+            *b = r.get_u64()?;
+        }
+        self.sum = r.get_u64()?;
+        self.count = r.get_u64()?;
+        self.max = r.get_u64()?;
+        Ok(())
+    }
+}
+
+impl Record for Stats {
+    /// Journaled as a campaign unit by delegating to the [`Snapshot`]
+    /// encoding, so replayed stats are bit-identical to computed ones.
+    fn record(&self, w: &mut SnapWriter) {
+        self.save(w);
+    }
+    fn replay(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut s = Stats::new();
+        s.load(r)?;
+        Ok(s)
+    }
+}
+
+impl Snapshot for Stats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.section("stats");
+        // Counter names key the values so a snapshot from a build with a
+        // different counter set fails loudly instead of shearing.
+        w.put_len(Counter::COUNT);
+        for c in Counter::ALL {
+            w.put_str(c.name());
+            w.put_u64(self.get(c));
+        }
+        for p in &self.phases {
+            w.put_u64(p.dram_accesses);
+            w.put_u64(p.core_instrs);
+            w.put_u64(p.l1d_misses);
+            w.put_u64(p.l2_misses);
+            w.put_u64(p.llc_misses);
+            w.put_u64(p.invals);
+        }
+        w.put_usize(self.current_phase);
+        self.load_latency.save(w);
+        self.callback_latency.save(w);
+        self.live_tokens.save(w);
+        self.stall_detection.save(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.section("stats")?;
+        r.get_len_expect("stats.counters", Counter::COUNT)?;
+        for c in Counter::ALL {
+            let name = r.get_str()?;
+            if name != c.name() {
+                return Err(SnapError::StateMismatch(format!(
+                    "counter order: snapshot has `{name}` where this build has `{}`",
+                    c.name()
+                )));
+            }
+            self.counters[c as usize] = r.get_u64()?;
+        }
+        for p in &mut self.phases {
+            p.dram_accesses = r.get_u64()?;
+            p.core_instrs = r.get_u64()?;
+            p.l1d_misses = r.get_u64()?;
+            p.l2_misses = r.get_u64()?;
+            p.llc_misses = r.get_u64()?;
+            p.invals = r.get_u64()?;
+        }
+        self.current_phase = r.get_usize()?;
+        self.load_latency.load(r)?;
+        self.callback_latency.load(r)?;
+        self.live_tokens.load(r)?;
+        self.stall_detection.load(r)?;
+        Ok(())
+    }
+}
+
 // ----------------------------------------------------------------------
 // Process-wide throughput tally
 // ----------------------------------------------------------------------
@@ -428,6 +518,27 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Counter::COUNT);
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip() {
+        let mut s = Stats::new();
+        s.add(Counter::DramRead, 17);
+        s.set_phase(1);
+        s.add(Counter::CoreInstr, 5);
+        s.load_latency.record(9);
+        s.stall_detection.record(123_456);
+        let env = crate::checkpoint::encode(&s);
+        let mut out = Stats::new();
+        crate::checkpoint::decode(&env, &mut out).unwrap();
+        assert_eq!(out.get(Counter::DramRead), 17);
+        assert_eq!(out.phase(), 1);
+        assert_eq!(out.phases()[1].core_instrs, 5);
+        assert_eq!(out.load_latency, s.load_latency);
+        assert_eq!(out.stall_detection.max(), 123_456);
+        for c in Counter::ALL {
+            assert_eq!(out.get(c), s.get(c));
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@ use tako_core::TakoSystem;
 use tako_cpu::MemSystem;
 use tako_graph::Csr;
 use tako_mem::addr::{Addr, AddrRange};
+use tako_sim::checkpoint::{Record, SnapError, SnapReader, SnapWriter};
 use tako_sim::stats::{Counter, Stats};
 use tako_sim::Cycle;
 
@@ -50,6 +51,24 @@ impl RunResult {
     /// Shorthand for a counter value.
     pub fn get(&self, c: Counter) -> u64 {
         self.stats.get(c)
+    }
+}
+
+impl Record for RunResult {
+    /// Journaled as a campaign unit: a replayed result feeds the same
+    /// report formatting as a computed one, so the round trip must be
+    /// bit-exact (f64s use the to_bits/from_bits path in `put_f64`).
+    fn record(&self, w: &mut SnapWriter) {
+        w.put_u64(self.cycles);
+        w.put_f64(self.energy_uj);
+        self.stats.record(w);
+    }
+    fn replay(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(RunResult {
+            cycles: r.get_u64()?,
+            energy_uj: r.get_f64()?,
+            stats: Stats::replay(r)?,
+        })
     }
 }
 

@@ -347,6 +347,25 @@ pub struct DecompressResult {
     pub decompressions: u64,
 }
 
+impl tako_sim::checkpoint::Record for DecompressResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        w.put_f64(self.average);
+        w.put_f64(self.expected);
+        w.put_u64(self.decompressions);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(DecompressResult {
+            run: RunResult::replay(r)?,
+            average: r.get_f64()?,
+            expected: r.get_f64()?,
+            decompressions: r.get_u64()?,
+        })
+    }
+}
+
 /// Run one variant with `params` on a system configured by `cfg`.
 pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> DecompressResult {
     let mut cfg = cfg.clone();

@@ -484,6 +484,27 @@ pub struct HatsResult {
     pub mean_load_latency: f64,
 }
 
+impl tako_sim::checkpoint::Record for HatsResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        self.next.record(w);
+        w.put_u64(self.processed);
+        w.put_f64(self.mispredicts_per_edge);
+        w.put_f64(self.mean_load_latency);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(HatsResult {
+            run: RunResult::replay(r)?,
+            next: Vec::replay(r)?,
+            processed: r.get_u64()?,
+            mispredicts_per_edge: r.get_f64()?,
+            mean_load_latency: r.get_f64()?,
+        })
+    }
+}
+
 /// Run one variant on `cfg` with a freshly generated community graph.
 pub fn run(variant: Variant, params: &Params, cfg: &SystemConfig) -> HatsResult {
     let mut rng = Rng::new(params.seed);

@@ -275,6 +275,27 @@ pub struct NvmResult {
     pub engine_instrs_per_word: f64,
 }
 
+impl tako_sim::checkpoint::Record for NvmResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        w.put_bool(self.data_correct);
+        w.put_u64(self.journal_writes);
+        w.put_f64(self.core_instrs_per_word);
+        w.put_f64(self.engine_instrs_per_word);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(NvmResult {
+            run: RunResult::replay(r)?,
+            data_correct: r.get_bool()?,
+            journal_writes: r.get_u64()?,
+            core_instrs_per_word: r.get_f64()?,
+            engine_instrs_per_word: r.get_f64()?,
+        })
+    }
+}
+
 /// Run one variant.
 pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> NvmResult {
     let mut cfg = cfg.clone();

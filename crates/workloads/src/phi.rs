@@ -363,6 +363,31 @@ pub struct PhiResult {
     pub phase_ends: [Cycle; 3],
 }
 
+impl tako_sim::checkpoint::Record for PhiResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        self.ranks.record(w);
+        for p in self.phase_ends {
+            w.put_u64(p);
+        }
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        let run = RunResult::replay(r)?;
+        let ranks = Vec::replay(r)?;
+        let mut phase_ends = [0; 3];
+        for p in &mut phase_ends {
+            *p = r.get_u64()?;
+        }
+        Ok(PhiResult {
+            run,
+            ranks,
+            phase_ends,
+        })
+    }
+}
+
 fn partition(n: u64, parts: usize, i: usize) -> (u64, u64) {
     let per = n.div_ceil(parts as u64);
     let lo = per * i as u64;

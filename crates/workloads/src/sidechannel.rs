@@ -220,6 +220,29 @@ pub struct SideChannelResult {
     pub interrupts: u64,
 }
 
+impl tako_sim::checkpoint::Record for SideChannelResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        self.touched.record(w);
+        self.inferred.record(w);
+        self.slow_counts.record(w);
+        self.detected_at.record(w);
+        w.put_u64(self.interrupts);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(SideChannelResult {
+            run: RunResult::replay(r)?,
+            touched: Vec::replay(r)?,
+            inferred: Vec::replay(r)?,
+            slow_counts: Vec::replay(r)?,
+            detected_at: Option::replay(r)?,
+            interrupts: r.get_u64()?,
+        })
+    }
+}
+
 impl SideChannelResult {
     /// Fraction of rounds where the attacker's inference matches the
     /// ground truth (≈1.0 = full leak; ≈0.5 or below = no information,

@@ -159,6 +159,23 @@ pub struct SoaResult {
     pub expected: u64,
 }
 
+impl tako_sim::checkpoint::Record for SoaResult {
+    fn record(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
+        self.run.record(w);
+        w.put_u64(self.sum);
+        w.put_u64(self.expected);
+    }
+    fn replay(
+        r: &mut tako_sim::checkpoint::SnapReader<'_>,
+    ) -> Result<Self, tako_sim::checkpoint::SnapError> {
+        Ok(SoaResult {
+            run: RunResult::replay(r)?,
+            sum: r.get_u64()?,
+            expected: r.get_u64()?,
+        })
+    }
+}
+
 /// Run one variant.
 pub fn run(variant: Variant, params: Params, cfg: &SystemConfig) -> SoaResult {
     let mut sys = TakoSystem::new(cfg.clone());

@@ -25,4 +25,24 @@ cargo doc --workspace --no-deps -q
 echo "==> fault_campaign smoke"
 ./target/release/fault_campaign --scale 0.25 --scenarios 6
 
+# Interrupt/resume smoke: journal a campaign, crash every experiment
+# after two checkpointed units, resume it, and require the resumed
+# output byte-identical to a clean (unjournaled) run. Timing lines
+# ("[name took ...]") are stripped before the diff.
+echo "==> campaign interrupt/resume smoke"
+JDIR=$(mktemp -d)
+trap 'rm -rf "$JDIR"' EXIT
+if ./target/release/all_experiments --scale 0.01 --jobs 2 \
+    --journal "$JDIR/journal" --crash-after-units 2 \
+    > /dev/null 2> "$JDIR/crash.log"; then
+  echo "error: crashed campaign should exit nonzero" >&2
+  exit 1
+fi
+./target/release/all_experiments --scale 0.01 --jobs 2 \
+    --journal "$JDIR/journal" --resume > "$JDIR/resumed.txt"
+./target/release/all_experiments --scale 0.01 --jobs 2 > "$JDIR/clean.txt"
+diff <(grep -v 'took' "$JDIR/clean.txt") \
+     <(grep -v 'took' "$JDIR/resumed.txt")
+echo "    resumed campaign output matches clean run"
+
 echo "ci: all green"
