@@ -11,6 +11,11 @@
 //!                       print a FAILURES section, exit nonzero
 //! --force-panic <name>  panic inside the named harness (tests the
 //!                       --keep-going contract)
+//! --trace-out <path>    arm the observability layer and write the
+//!                       merged event trace as Chrome trace_event JSON
+//!                       (load in chrome://tracing or Perfetto)
+//! --profile             arm the observability layer and print the
+//!                       per-stage cycle-attribution table
 //! ```
 //!
 //! Supervised-campaign flags (see `tako_bench::campaign`):
@@ -47,6 +52,8 @@ struct BenchFlags {
     json_path: Option<String>,
     keep_going: bool,
     force_panic: Option<String>,
+    trace_out: Option<String>,
+    profile: bool,
     journal: Option<String>,
     resume: bool,
     deadline: Option<f64>,
@@ -60,6 +67,8 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
         json_path: None,
         keep_going: false,
         force_panic: None,
+        trace_out: None,
+        profile: false,
         journal: None,
         resume: false,
         deadline: None,
@@ -85,6 +94,15 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
                 }
             }
             "--keep-going" => flags.keep_going = true,
+            "--trace-out" => {
+                if let Some(p) = unknown.get(i + 1) {
+                    flags.trace_out = Some(p.clone());
+                    i += 1;
+                } else {
+                    eprintln!("warning: --trace-out needs a path");
+                }
+            }
+            "--profile" => flags.profile = true,
             "--force-panic" => {
                 if let Some(n) = unknown.get(i + 1) {
                     flags.force_panic = Some(n.clone());
@@ -151,6 +169,13 @@ fn main() {
         eprintln!("warning: --force-panic without --keep-going aborts the run");
     }
 
+    // Arm observability before any system is built: hierarchies attach
+    // their observer at construction.
+    let tracing = flags.trace_out.is_some() || flags.profile;
+    if tracing {
+        tako_sim::trace::arm();
+    }
+
     let t0 = Instant::now();
     let results: Vec<(&str, Result<ExperimentResult, String>)> = if let Some(dir) = &flags.journal {
         let c = CampaignOpts {
@@ -200,6 +225,38 @@ fn main() {
         }
     }
 
+    // Disarm and drain *before* bench_json: its checkpoint-overhead
+    // probe builds a throwaway system that must run untraced.
+    let trace_report = if tracing {
+        tako_sim::trace::disarm();
+        Some(tako_sim::trace::drain())
+    } else {
+        None
+    };
+    if let Some(report) = &trace_report {
+        if let Some(path) = &flags.trace_out {
+            match std::fs::write(path, report.chrome_trace_json()) {
+                Ok(()) => eprintln!(
+                    "wrote {path} ({} trace events, {} interval samples, {} systems)",
+                    report.events.len(),
+                    report.samples.len(),
+                    report.systems
+                ),
+                Err(e) => eprintln!("error: writing {path}: {e}"),
+            }
+        }
+        if flags.profile {
+            println!("PROFILE:\n{}", report.profile_table());
+        }
+        if let Some(dir) = &flags.journal {
+            let path = std::path::Path::new(dir).join("metrics.json");
+            match std::fs::write(&path, report.metrics_json()) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("error: writing {}: {e}", path.display()),
+            }
+        }
+    }
+
     let accesses = tako_sim::stats::simulated_accesses();
     let total_s = total_wall.as_secs_f64();
     eprintln!(
@@ -212,7 +269,7 @@ fn main() {
     );
 
     if let Some(path) = flags.json_path {
-        let json = bench_json(opts, total_s, accesses, &succeeded);
+        let json = bench_json(opts, total_s, accesses, &succeeded, trace_report.as_ref());
         match std::fs::write(&path, json) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("error: writing {path}: {e}"),
@@ -260,6 +317,7 @@ fn bench_json(
     total_wall_s: f64,
     accesses: u64,
     results: &[&ExperimentResult],
+    trace: Option<&tako_sim::trace::TraceReport>,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
@@ -276,6 +334,9 @@ fn bench_json(
         "  \"checkpoint\": {{\"snapshot_bytes\": {snap_bytes}, \
          \"snapshot_ms\": {snap_ms:.3}, \"restore_ms\": {restore_ms:.3}}},\n"
     ));
+    if let Some(report) = trace {
+        s.push_str(&format!("  \"metrics\": {},\n", report.metrics_json()));
+    }
     s.push_str("  \"experiments\": {\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };

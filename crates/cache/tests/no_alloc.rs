@@ -172,6 +172,68 @@ fn checkpoint_cadence_armed_but_idle_is_allocation_free() {
     );
 }
 
+/// With tracing disarmed (the default), the observability layer's bus
+/// hooks — the cursor update, the span recorder, the event tap — must
+/// all reduce to one `SinkTap::None` discriminant test and allocate
+/// nothing.
+#[test]
+fn tracing_off_hot_path_is_allocation_free() {
+    use tako_sim::event::{AccountingBus, LevelId, TxnEvent, TxnSink};
+    use tako_sim::fault::FaultInjector;
+    use tako_sim::trace::Stage;
+
+    let mut bus = AccountingBus::new(FaultInjector::new(None));
+    assert!(bus.observer().is_none(), "tap must default to None");
+    let n = allocs_in(|| {
+        for k in 0..4096u64 {
+            bus.observe_at(k, (k % 16) as usize);
+            bus.emit(TxnEvent::Hit(LevelId::L1d));
+            bus.emit(TxnEvent::Miss(LevelId::L2));
+            bus.emit(TxnEvent::NocHops { flits: 5, hops: 2 });
+            let done = tako_sim::span!(bus, Stage::Callback, k, k + 40);
+            bus.span_record(Stage::L1, k, done);
+        }
+    });
+    assert_eq!(n, 0, "tracing-off observability hooks allocated");
+}
+
+/// With an observer attached, recording must still be allocation-free:
+/// every structure (trace ring, sample ring, histograms, profile)
+/// preallocates at construction, and each record is a slot write.
+#[test]
+fn armed_observer_recording_is_allocation_free() {
+    use tako_sim::event::{AccountingBus, LevelId, SinkTap, TxnEvent, TxnSink};
+    use tako_sim::fault::FaultInjector;
+    use tako_sim::stats::Counter;
+    use tako_sim::trace::{Observer, Stage};
+
+    let mut bus = AccountingBus::new(FaultInjector::new(None));
+    bus.tap = SinkTap::Observer(Box::new(Observer::new()));
+    let mut stats = tako_sim::stats::Stats::new();
+    let n = allocs_in(|| {
+        for k in 0..4096u64 {
+            bus.observe_at(k, (k % 16) as usize);
+            bus.emit(TxnEvent::Hit(LevelId::L1d));
+            bus.emit(TxnEvent::Miss(LevelId::Llc));
+            bus.span_record(Stage::L2, k, k + 9);
+            stats.add(Counter::L1dHit, 1);
+            if let Some(obs) = bus.observer_mut() {
+                obs.record_callback(k % 500);
+                obs.record_txn(k, Some(k), Some(k + 2), None, None, k + 60);
+                if k % 64 == 0 {
+                    // Epoch sampling wraps the sample ring several times
+                    // over; it must stay slot-writes only.
+                    obs.sample_epoch(k / 64, k, &stats, k as f64, 3);
+                }
+            }
+        }
+    });
+    assert_eq!(n, 0, "armed observer recording allocated");
+    let obs = bus.observer().expect("observer still attached");
+    assert_eq!(obs.ring.total(), 2 * 4096);
+    assert_eq!(obs.metrics.total_samples(), 64);
+}
+
 #[test]
 fn prefetcher_observe_is_allocation_free() {
     let mut p = StridePrefetcher::new(PrefetchConfig::default());

@@ -174,11 +174,18 @@ impl Hierarchy {
             .map(|_| MshrFile::new(cfg.llc_bank.mshrs.max(2) as usize))
             .collect();
         let mut bus = AccountingBus::new(FaultInjector::new(cfg.faults.as_ref()));
-        // Under campaign supervision, keep a ring of recent pipeline
-        // events so a deadline kill or panic can show what the machine
-        // was doing. The tap is diagnostic-only: simulation observables
-        // never read it, so attaching it cannot perturb timing.
-        if tako_sim::supervise::armed() {
+        // Observability and supervision taps are diagnostic-only:
+        // simulation observables never read them, so attaching one
+        // cannot perturb timing. The full observer (armed via
+        // `tako_sim::trace::arm`) subsumes the supervision ring — it
+        // carries its own stamped event tail — so it wins when both are
+        // armed.
+        if tako_sim::trace::armed() {
+            bus.tap = SinkTap::Observer(Box::default());
+        } else if tako_sim::supervise::armed() {
+            // Under campaign supervision, keep a ring of recent pipeline
+            // events so a deadline kill or panic can show what the
+            // machine was doing.
             bus.tap = SinkTap::Trace(Box::default());
         }
         Hierarchy {
@@ -253,6 +260,7 @@ impl Hierarchy {
         line: Addr,
         arrival: Cycle,
     ) -> Cycle {
+        self.bus.observe_at(arrival, engine_tile);
         let Some(entry) = self.registry.entry(morph_id) else {
             return arrival;
         };
@@ -359,7 +367,16 @@ impl Hierarchy {
         if let Some(v) = violation {
             self.quarantine_morph(morph_id, format!("illegal callback action: {v}"));
         }
-        result.completion
+        let completion = tako_sim::span!(
+            self.bus,
+            tako_sim::trace::Stage::Callback,
+            start,
+            result.completion
+        );
+        if let Some(obs) = self.bus.observer_mut() {
+            obs.record_callback(completion.saturating_sub(start));
+        }
+        completion
     }
 
     /// Quarantine a Morph (counted once per Morph). Its range keeps
@@ -372,6 +389,17 @@ impl Hierarchy {
     }
 }
 
+impl Drop for Hierarchy {
+    /// Flush an attached observability observer into the process-wide
+    /// trace collector so `tako_sim::trace::drain` sees every system
+    /// that ran while tracing was armed.
+    fn drop(&mut self) {
+        if let Some(obs) = self.bus.take_observer() {
+            tako_sim::trace::collect(*obs);
+        }
+    }
+}
+
 impl Snapshot for Hierarchy {
     /// The whole machine, component by component. Snapshots are taken at
     /// epoch boundaries — the only guaranteed quiescent points: no walk
@@ -379,8 +407,10 @@ impl Snapshot for Hierarchy {
     /// zero. Structure (tile count, geometries, capacities) is rebuilt
     /// from config by [`Hierarchy::new`] and *verified* by each
     /// component's `load`, never restored, so resuming into a mismatched
-    /// config fails loudly. The bus tap (event trace) is diagnostic-only
-    /// and re-armed by the driver rather than serialized.
+    /// config fails loudly. The supervision trace tap is diagnostic-only
+    /// and re-armed by the driver rather than serialized; an attached
+    /// observability observer *is* serialized (v2) so traces, interval
+    /// metrics, and stage profiles survive checkpoint/resume.
     fn save(&self, w: &mut SnapWriter) {
         w.section("hierarchy");
         self.bus.stats.save(w);
@@ -435,6 +465,13 @@ impl Snapshot for Hierarchy {
         }
         self.watchdog.save(w);
         w.put_bool(self.ckpt_due);
+        match self.bus.observer() {
+            Some(obs) => {
+                w.put_bool(true);
+                obs.save(w);
+            }
+            None => w.put_bool(false),
+        }
     }
 
     fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -508,6 +545,17 @@ impl Snapshot for Hierarchy {
         }
         self.watchdog.load(r)?;
         self.ckpt_due = r.get_bool()?;
+        if r.get_bool()? {
+            // Restore the observer into the tap, attaching one if the
+            // resuming process didn't arm tracing itself.
+            let mut obs = self.bus.take_observer().unwrap_or_default();
+            obs.load(r)?;
+            self.bus.tap = SinkTap::Observer(obs);
+        } else {
+            // The snapshot ran untraced; drop any locally armed
+            // observer so resumed accounting matches the original run.
+            self.bus.take_observer();
+        }
         Ok(())
     }
 }

@@ -25,6 +25,7 @@ impl Hierarchy {
     /// Morph interposition, observed by the watchdog. Returns the
     /// completion cycle.
     pub fn core_access(&mut self, tile: TileId, kind: AccessKind, addr: Addr, t: Cycle) -> Cycle {
+        self.bus.observe_at(t, tile);
         let done = self.core_access_inner(tile, kind, addr, t);
         if self.watchdog.enabled() {
             if let Some(latency) = self.watchdog.observe_access(t, done) {
@@ -88,6 +89,21 @@ impl Hierarchy {
         if delta > 0 {
             self.bus.emit(TxnEvent::InvariantViolations(delta));
         }
+        // Observability interval sampling rides the same quiescent
+        // point: close the epoch's interval with counter deltas plus the
+        // energy and DRAM-backlog gauges. Disjoint field borrows: the
+        // observer lives in `bus.tap`, the counters in `bus.stats`.
+        if self.bus.observer().is_some() {
+            let epoch = self.watchdog.epochs_run();
+            let backlog = self.dram.backlog(now);
+            let energy = EnergyModel::default_params()
+                .tally(&self.bus.stats)
+                .total_pj();
+            let tako_sim::event::SinkTap::Observer(obs) = &mut self.bus.tap else {
+                unreachable!()
+            };
+            obs.sample_epoch(epoch, now, &self.bus.stats, energy, backlog);
+        }
         // Checkpoint cadence piggybacks on the epoch sweep: the epoch
         // boundary is the hierarchy's only guaranteed quiescent point
         // (no walk in flight, engines checked in). Raising the flag is a
@@ -136,6 +152,9 @@ impl Hierarchy {
         if let Some(trace) = self.bus.trace() {
             let _ = writeln!(s, "event tail: {}", trace.render());
         }
+        if let Some(obs) = self.bus.observer() {
+            let _ = writeln!(s, "event tail: {}", obs.ring.render());
+        }
         match tako_sim::supervise::last_checkpoint() {
             Some(id) => {
                 let _ = writeln!(s, "last checkpoint: {id}");
@@ -167,6 +186,17 @@ impl Hierarchy {
             pending_callbacks: self.pending_callbacks.len(),
             quarantined_morphs: self.registry.quarantined_morphs().count(),
         }
+    }
+
+    /// Retire `txn`, first feeding its observational stage stamps to an
+    /// attached observer (stage profile + miss latency). A no-op wrapper
+    /// around [`MemTxn::retire`] when tracing is off.
+    fn retire_profiled(&mut self, txn: MemTxn, done: Cycle) -> Cycle {
+        if let Some(obs) = self.bus.observer_mut() {
+            let s = &txn.stamps;
+            obs.record_txn(txn.issued, s.l1, s.l2, s.llc, s.fill, done);
+        }
+        txn.retire(done)
     }
 
     fn core_access_inner(&mut self, tile: TileId, kind: AccessKind, addr: Addr, t: Cycle) -> Cycle {
@@ -214,7 +244,7 @@ impl Hierarchy {
                     le.dirty = true;
                 }
             }
-            return txn.retire(done);
+            return self.retire_profiled(txn, done);
         }
         let t1 = t + l1_cfg.tag_latency;
 
@@ -279,7 +309,7 @@ impl Hierarchy {
                     // Non-temporal fills bypass the L2 entirely: the line
                     // lives briefly in the L1 and is dropped silently.
                     self.fill_l1(tile, line, write, done);
-                    return txn.retire(done);
+                    return self.retire_profiled(txn, done);
                 }
                 if let Some(ev) =
                     self.tiles[tile]
@@ -299,7 +329,7 @@ impl Hierarchy {
         if !stream {
             self.train_prefetcher(tile, addr, t1);
         }
-        txn.retire(done)
+        self.retire_profiled(txn, done)
     }
 
     /// Fill `line` into `tile`'s L1d, merging any displaced dirty line

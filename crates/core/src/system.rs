@@ -292,6 +292,13 @@ impl TakoSystem {
         self.energy.tally(&self.hier.bus.stats)
     }
 
+    /// The observability observer attached to the accounting bus, when
+    /// tracing was armed (`tako_sim::trace::arm`) before this system was
+    /// built or a traced snapshot was restored. `None` otherwise.
+    pub fn observer(&self) -> Option<&tako_sim::trace::Observer> {
+        self.hier.bus.observer()
+    }
+
     // ------------------------------------------------------------------
     // Checkpoint / resume
     // ------------------------------------------------------------------

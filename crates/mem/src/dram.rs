@@ -70,6 +70,17 @@ impl Dram {
     pub fn drain_cycle(&self) -> Cycle {
         self.next_free.iter().copied().max().unwrap_or(0)
     }
+
+    /// Queue depth at `now`, in cycles: how far the busiest controller's
+    /// committed work extends past the present. Zero when idle; sampled
+    /// by the observability layer as the DRAM backlog gauge.
+    pub fn backlog(&self, now: Cycle) -> Cycle {
+        self.next_free
+            .iter()
+            .map(|&f| f.saturating_sub(now))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 impl tako_sim::checkpoint::Snapshot for Dram {
@@ -136,6 +147,22 @@ mod tests {
         d.write_line(0, 0, &mut s);
         assert_eq!(s.get(Counter::DramWrite), 1);
         assert!(d.drain_cycle() > 0);
+    }
+
+    #[test]
+    fn backlog_tracks_busiest_controller() {
+        let (mut d, mut s) = dram();
+        assert_eq!(d.backlog(0), 0);
+        let ctrls = MemConfig::default().controllers as u64;
+        // Three queued reads on controller 0: backlog is its occupancy
+        // horizon, and it decays as time passes.
+        for i in 0..3 {
+            d.read_line(i * ctrls * LINE_BYTES, 0, &mut s);
+        }
+        let occ = d.occupancy;
+        assert_eq!(d.backlog(0), 3 * occ);
+        assert_eq!(d.backlog(occ), 2 * occ);
+        assert_eq!(d.backlog(10 * occ), 0);
     }
 
     #[test]

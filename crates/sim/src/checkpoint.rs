@@ -53,7 +53,9 @@ use crate::digest::Sha256;
 pub const SNAP_MAGIC: [u8; 8] = *b"TAKOSNP\0";
 
 /// Snapshot format version; bump on any serialized-layout change.
-pub const SNAP_VERSION: u32 = 1;
+/// Version 2: the hierarchy section gained the optional observability
+/// observer (event ring, interval metrics, stage profile).
+pub const SNAP_VERSION: u32 = 2;
 
 /// Errors surfaced while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -269,6 +269,10 @@ pub enum SinkTap {
     /// Ring-buffer event tracer for crash triage (see [`EventTrace`]);
     /// attached while a supervised campaign runs.
     Trace(Box<EventTrace>),
+    /// Full observability recorder (see [`crate::trace::Observer`]):
+    /// stamped event trace, interval metrics, and stage profile;
+    /// attached while `trace::armed()` experiments run.
+    Observer(Box<crate::trace::Observer>),
 }
 
 impl TxnSink for SinkTap {
@@ -278,6 +282,7 @@ impl TxnSink for SinkTap {
             SinkTap::None => {}
             SinkTap::Energy(acc) => acc.emit(ev),
             SinkTap::Trace(trace) => trace.emit(ev),
+            SinkTap::Observer(obs) => obs.emit(ev),
         }
     }
 }
@@ -335,6 +340,57 @@ impl AccountingBus {
         match &self.tap {
             SinkTap::Trace(t) => Some(t.as_ref()),
             _ => None,
+        }
+    }
+
+    /// Advance the observer's cycle/tile stamp cursor (no-op without an
+    /// observer tap): subsequent events are attributed to `tile` at
+    /// `cycle`.
+    #[inline(always)]
+    pub fn observe_at(&mut self, cycle: Cycle, tile: usize) {
+        if let SinkTap::Observer(obs) = &mut self.tap {
+            obs.observe_at(cycle, tile as u32);
+        }
+    }
+
+    /// Attribute a pipeline-stage span to the observer's profile (no-op
+    /// without an observer tap); call sites use the
+    /// [`span!`](crate::span!) macro.
+    #[inline(always)]
+    pub fn span_record(&mut self, stage: crate::trace::Stage, start: Cycle, done: Cycle) {
+        if let SinkTap::Observer(obs) = &mut self.tap {
+            obs.record_span(stage, start, done);
+        }
+    }
+
+    /// The attached observer, if any.
+    #[inline]
+    pub fn observer(&self) -> Option<&crate::trace::Observer> {
+        match &self.tap {
+            SinkTap::Observer(obs) => Some(obs.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The attached observer, mutably, if any.
+    #[inline(always)]
+    pub fn observer_mut(&mut self) -> Option<&mut crate::trace::Observer> {
+        match &mut self.tap {
+            SinkTap::Observer(obs) => Some(obs.as_mut()),
+            _ => None,
+        }
+    }
+
+    /// Detach and return the observer tap, leaving [`SinkTap::None`];
+    /// `None` (tap untouched) when no observer is attached.
+    pub fn take_observer(&mut self) -> Option<Box<crate::trace::Observer>> {
+        if matches!(self.tap, SinkTap::Observer(_)) {
+            match std::mem::take(&mut self.tap) {
+                SinkTap::Observer(obs) => Some(obs),
+                _ => unreachable!(),
+            }
+        } else {
+            None
         }
     }
 }

@@ -26,6 +26,9 @@
 //!   resume-from-snapshot is byte-identical to an uninterrupted run.
 //! * [`supervise`] — thread-local deadline/triage plumbing between the
 //!   supervised campaign runner and the hierarchy's watchdog epochs.
+//! * [`trace`] — the observability layer: bounded event tracing with
+//!   Chrome `trace_event` export, per-epoch interval metrics, and
+//!   pipeline-stage profiling spans; zero overhead unless armed.
 //!
 //! Time is measured in [`Cycle`]s (2.4 GHz in the default configuration).
 //!
@@ -53,6 +56,7 @@ pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod supervise;
+pub mod trace;
 
 /// A simulated clock cycle. The default system runs at 2.4 GHz.
 pub type Cycle = u64;

@@ -216,6 +216,18 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Fold `other`'s samples into `self` (bucket-wise; exact for
+    /// count/sum/max, used when per-system histograms are merged into a
+    /// process-wide trace report).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
     /// Fraction of samples at or below `latency` (approximate, by bucket).
     pub fn cdf_at(&self, latency: Cycle) -> f64 {
         if self.count == 0 {
@@ -510,6 +522,68 @@ mod tests {
         let h = LatencyHistogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.cdf_at(10), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.sum(), 0);
+        assert!(h.buckets().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn histogram_zero_sample_lands_in_bottom_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert!((h.cdf_at(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_single_bucket_concentration() {
+        let mut h = LatencyHistogram::new();
+        // All of [8, 15] shares bucket index 4.
+        for lat in 8u64..16 {
+            h.record(lat);
+        }
+        assert_eq!(h.buckets()[4], 8);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 8);
+        assert!((h.mean() - 11.5).abs() < 1e-9);
+        assert_eq!(h.cdf_at(7), 0.0);
+        assert!((h.cdf_at(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_saturates_top_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(1 << 20);
+        h.record(1 << 40);
+        h.record(1 << 62);
+        assert_eq!(h.buckets()[15], 3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 1 << 62);
+        assert!((h.cdf_at(u64::MAX) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for lat in [1u64, 5, 700] {
+            a.record(lat);
+        }
+        for lat in [2u64, 9_000, 1 << 50] {
+            b.record(lat);
+        }
+        let mut combined = LatencyHistogram::new();
+        for lat in [1u64, 5, 700, 2, 9_000, 1 << 50] {
+            combined.record(lat);
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        // Merging an empty histogram is the identity.
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a, combined);
     }
 
     #[test]

@@ -45,4 +45,25 @@ diff <(grep -v 'took' "$JDIR/clean.txt") \
      <(grep -v 'took' "$JDIR/resumed.txt")
 echo "    resumed campaign output matches clean run"
 
+# Observability smoke: a traced run must produce parseable Chrome
+# trace JSON with real events, a profile table, and output that is
+# byte-identical to the untraced clean run above (tracing is strictly
+# observational).
+echo "==> trace smoke"
+./target/release/all_experiments --scale 0.01 --jobs 2 \
+    --trace-out "$JDIR/trace.json" --profile > "$JDIR/traced.txt"
+grep -q '^PROFILE:' "$JDIR/traced.txt"
+diff <(grep -v 'took' "$JDIR/clean.txt") \
+     <(grep -v 'took' "$JDIR/traced.txt" | sed '/^PROFILE:/,$d')
+python3 - "$JDIR/trace.json" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+evs = d["traceEvents"]
+inst = [e for e in evs if e.get("ph") == "i"]
+assert inst, "trace has no instant events"
+assert all(e["ts"] >= 0 for e in inst), "negative timestamp"
+print(f"    trace JSON valid: {len(evs)} events ({len(inst)} instants)")
+EOF
+echo "    traced output matches clean run"
+
 echo "ci: all green"
