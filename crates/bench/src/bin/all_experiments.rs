@@ -269,7 +269,15 @@ fn main() {
     );
 
     if let Some(path) = flags.json_path {
-        let json = bench_json(opts, total_s, accesses, &succeeded, trace_report.as_ref());
+        let baseline = committed_accesses_per_sec(&path);
+        let json = bench_json(
+            opts,
+            total_s,
+            accesses,
+            baseline,
+            &succeeded,
+            trace_report.as_ref(),
+        );
         match std::fs::write(&path, json) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("error: writing {path}: {e}"),
@@ -310,25 +318,50 @@ fn checkpoint_overhead() -> (usize, f64, f64) {
     (snap.len(), snapshot_ms, restore_ms)
 }
 
+/// Pull `accesses_per_sec` out of the previously committed report at
+/// `path`, so the fresh report can state its own delta against what the
+/// repo last recorded. Naive line scan — the report is hand-rolled JSON
+/// with one key per line.
+fn committed_accesses_per_sec(path: &str) -> Option<f64> {
+    let prev = std::fs::read_to_string(path).ok()?;
+    for line in prev.lines() {
+        if let Some(rest) = line.trim().strip_prefix("\"accesses_per_sec\":") {
+            return rest.trim().trim_end_matches(',').parse().ok();
+        }
+    }
+    None
+}
+
 /// Hand-rolled JSON (the workspace carries no serde): the throughput
 /// report consumed by EXPERIMENTS.md's benchmarking section.
 fn bench_json(
     opts: Opts,
     total_wall_s: f64,
     accesses: u64,
+    baseline_accesses_per_sec: Option<f64>,
     results: &[&ExperimentResult],
     trace: Option<&tako_sim::trace::TraceReport>,
 ) -> String {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {},\n", opts.jobs));
+    s.push_str(&format!("  \"lanes\": {},\n", opts.lanes));
+    s.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
     s.push_str(&format!("  \"scale\": {},\n", opts.scale));
     s.push_str(&format!("  \"seed\": {},\n", opts.seed));
     s.push_str(&format!("  \"total_wall_s\": {total_wall_s:.3},\n"));
     s.push_str(&format!("  \"simulated_accesses\": {accesses},\n"));
-    s.push_str(&format!(
-        "  \"accesses_per_sec\": {:.0},\n",
-        accesses as f64 / total_wall_s.max(1e-9)
-    ));
+    let aps = accesses as f64 / total_wall_s.max(1e-9);
+    s.push_str(&format!("  \"accesses_per_sec\": {aps:.0},\n"));
+    if let Some(base) = baseline_accesses_per_sec {
+        s.push_str(&format!("  \"baseline_accesses_per_sec\": {base:.0},\n"));
+        s.push_str(&format!(
+            "  \"accesses_per_sec_delta\": {:.3},\n",
+            aps / base.max(1e-9) - 1.0
+        ));
+    }
     let (snap_bytes, snap_ms, restore_ms) = checkpoint_overhead();
     s.push_str(&format!(
         "  \"checkpoint\": {{\"snapshot_bytes\": {snap_bytes}, \

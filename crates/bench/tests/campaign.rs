@@ -32,6 +32,7 @@ fn opts() -> Opts {
         paper: false,
         seed: 42,
         jobs: 2,
+        lanes: 0,
     }
 }
 

@@ -28,6 +28,7 @@ fn all_experiments_match_golden_digest() {
         paper: false,
         seed: 0x7AC0,
         jobs: 1,
+        lanes: 0,
     });
     assert!(!results.is_empty(), "experiment table is empty");
     let mut h = Sha256::new();
@@ -59,6 +60,7 @@ fn interrupted_and_resumed_campaign_matches_golden_digest() {
         paper: false,
         seed: 0x7AC0,
         jobs: 2,
+        lanes: 0,
     };
     let mut c = CampaignOpts::fresh(&dir);
     c.crash_after_units = Some(2);
@@ -81,4 +83,42 @@ fn interrupted_and_resumed_campaign_matches_golden_digest() {
          (actual digest: {actual})"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The lane-engine golden family: `--lanes n` switches the phi
+/// harnesses to the deterministic per-tile lane runner, whose schedule
+/// is unit-step (a different, equally valid interleave than the serial
+/// CHUNK=16 runs pinned above) but must be *identical for every lane
+/// count*. This pins that contract over the experiments lanes affect.
+#[test]
+fn lane_digests_identical_across_lane_counts() {
+    let phi_experiments: Vec<_> = EXPERIMENTS
+        .iter()
+        .filter(|(name, _)| matches!(*name, "fig13" | "fig14" | "fig25"))
+        .collect();
+    assert_eq!(phi_experiments.len(), 3);
+    let digest_at = |jobs: usize, lanes: usize| {
+        let opts = Opts {
+            scale: 0.01,
+            paper: false,
+            seed: 0x7AC0,
+            jobs,
+            lanes,
+        };
+        let mut h = Sha256::new();
+        for (name, f) in &phi_experiments {
+            h.update(name.as_bytes());
+            h.update(b"\n");
+            h.update(f(opts).as_bytes());
+            h.update(b"\n");
+        }
+        h.finish_hex()
+    };
+    let one = digest_at(1, 1);
+    assert_eq!(one, digest_at(1, 2), "lanes=1 vs lanes=2 diverged");
+    assert_eq!(one, digest_at(1, 4), "lanes=1 vs lanes=4 diverged");
+    // The fan-out and lane axes compose: outer worker count never
+    // bleeds into lane-engine output.
+    assert_eq!(one, digest_at(2, 2), "jobs=2/lanes=2 diverged");
+    assert_eq!(one, digest_at(4, 4), "jobs=4/lanes=4 diverged");
 }

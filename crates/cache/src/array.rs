@@ -1,4 +1,5 @@
-//! Set-associative tag arrays with LRU / SRRIP / trrîp replacement.
+//! Set-associative tag arrays with LRU / SRRIP / trrîp replacement,
+//! stored struct-of-arrays for data-oriented set scans.
 //!
 //! The arrays track timing-relevant state only; data lives in the backing
 //! store (`tako_mem::PhysMem`). Each entry carries:
@@ -11,6 +12,33 @@
 //!   completes; accesses before this cycle stall until it,
 //! * `prefetched` — inserted by the prefetcher and not yet demanded,
 //! * `sharers` / `owner` — directory state, used only in LLC banks.
+//!
+//! ## Storage layout
+//!
+//! Entries are *not* stored as an array of structs. Each field lives in
+//! its own parallel vector, indexed by `set * ways + way`:
+//!
+//! ```text
+//!   tags:     [ t0 t1 t2 t3 t4 t5 t6 t7 | t0 t1 ... ]   8 B each
+//!   rrpv:     [ r0 r1 r2 r3 r4 r5 r6 r7 | ...       ]   1 B each
+//!   lru:      [ l0 l1 ...                           ]   8 B each
+//!   ready_at: [ ...                                 ]   8 B each
+//!   flags:    [ f0 f1 ...  dirty|morph|pref|excl    ]   1 B each
+//!   sharers:  [ ...        LLC directory only       ]   8 B each
+//!   owner:    [ ...        0xFF = none              ]   1 B each
+//! ```
+//!
+//! A probe of an 8-way set reads exactly one 64-byte host cache line of
+//! tags; a victim scan touches the tag line plus the 8-byte rrpv/flags
+//! slivers, instead of striding across eight 64-byte-padded structs.
+//! Validity is folded into the tag word: `TAG_INVALID` (`Addr::MAX`,
+//! never a line-aligned address) marks an empty way, so the hit scan is
+//! a single equality compare per way with no separate valid-bit load.
+//!
+//! Because fields live in parallel vectors, the probe/lookup API hands
+//! out [`EntryRef`]/[`EntryMut`] index handles with inline accessors
+//! rather than `&TagEntry` borrows; [`TagEntry`] remains as the *value*
+//! vocabulary for iteration and tests.
 //!
 //! ## trrîp
 //!
@@ -31,6 +59,22 @@ const RRPV_MAX: u8 = 3;
 /// Insertion RRPV for demand fills under (t)rrîp.
 const RRPV_LONG: u8 = 2;
 
+/// Tag word of an empty way. `Addr::MAX` is never a line-aligned
+/// address, so a tag equality compare can never alias it.
+const TAG_INVALID: Addr = Addr::MAX;
+
+/// `flags` bit: line differs from the next level / backing store.
+const F_DIRTY: u8 = 1 << 0;
+/// `flags` bit: a Morph is registered for this line at this level.
+const F_MORPH: u8 = 1 << 1;
+/// `flags` bit: inserted by the prefetcher and not yet demanded.
+const F_PREFETCHED: u8 = 1 << 2;
+/// `flags` bit: private caches — this tile holds the only copy.
+const F_EXCLUSIVE: u8 = 1 << 3;
+
+/// `owner` byte of an entry with no modified owner.
+const OWNER_NONE: u8 = u8::MAX;
+
 /// Who is inserting a line — determines insertion priority under trrîp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InsertKind {
@@ -43,7 +87,9 @@ pub enum InsertKind {
     Engine,
 }
 
-/// One tag entry.
+/// One tag entry, as a value. The array stores these fields in parallel
+/// vectors; this struct is the assembled view returned by [`CacheArray::iter`]
+/// and [`EntryRef::get`] for callers that want a plain snapshot of a way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TagEntry {
     /// Line-aligned address.
@@ -68,24 +114,6 @@ pub struct TagEntry {
     pub sharers: u64,
     /// Directory: tile holding the line modified, if any (LLC banks only).
     pub owner: Option<u8>,
-}
-
-impl TagEntry {
-    fn invalid() -> Self {
-        TagEntry {
-            line: 0,
-            valid: false,
-            dirty: false,
-            morph: false,
-            rrpv: RRPV_MAX,
-            lru_stamp: 0,
-            ready_at: 0,
-            prefetched: false,
-            exclusive: false,
-            sharers: 0,
-            owner: None,
-        }
-    }
 }
 
 /// Why a line left the array.
@@ -122,7 +150,18 @@ pub struct EvictEvent {
     pub owner: Option<u8>,
 }
 
-/// A set-associative cache tag array.
+/// Rollback record for one speculatively touched slot: the
+/// replacement-relevant state a pure lane step can mutate. Captured by
+/// [`CacheArray::slot_undo`], restored by [`CacheArray::restore_slot`].
+#[derive(Debug, Clone, Copy)]
+pub struct SlotUndo {
+    slot: usize,
+    rrpv: u8,
+    lru: u64,
+    flags: u8,
+}
+
+/// A set-associative cache tag array with struct-of-arrays storage.
 #[derive(Debug, Clone)]
 pub struct CacheArray {
     cfg: CacheConfig,
@@ -135,7 +174,21 @@ pub struct CacheArray {
     /// set selection is then a single mask instead of a modulo.
     set_mask: u64,
     pow2_sets: bool,
-    entries: Vec<TagEntry>,
+    /// Tag words, [`TAG_INVALID`] for empty ways. The hit scan touches
+    /// only this vector: for 8 ways that is one host cache line.
+    tags: Vec<Addr>,
+    /// Re-reference prediction values (RRIP policies).
+    rrpv: Vec<u8>,
+    /// Last-touch stamps (LRU policy and trrîp tie-breaks).
+    lru: Vec<u64>,
+    /// Fill/lock completion cycles.
+    ready: Vec<Cycle>,
+    /// Bit-packed `F_DIRTY | F_MORPH | F_PREFETCHED | F_EXCLUSIVE`.
+    flags: Vec<u8>,
+    /// Directory sharer masks (LLC banks only).
+    sharers: Vec<u64>,
+    /// Directory modified owner, [`OWNER_NONE`] if none (LLC banks only).
+    owner: Vec<u8>,
     stamp: u64,
 }
 
@@ -152,6 +205,7 @@ impl CacheArray {
     pub fn with_index_shift(cfg: CacheConfig, index_shift: u32) -> Self {
         let sets = cfg.sets() as usize;
         let ways = cfg.ways as usize;
+        let n = sets * ways;
         CacheArray {
             cfg,
             sets,
@@ -159,7 +213,13 @@ impl CacheArray {
             set_shift: LINE_BYTES.trailing_zeros() + index_shift,
             set_mask: sets as u64 - 1,
             pow2_sets: sets.is_power_of_two(),
-            entries: vec![TagEntry::invalid(); sets * ways],
+            tags: vec![TAG_INVALID; n],
+            rrpv: vec![RRPV_MAX; n],
+            lru: vec![0; n],
+            ready: vec![0; n],
+            flags: vec![0; n],
+            sharers: vec![0; n],
+            owner: vec![OWNER_NONE; n],
             stamp: 0,
         }
     }
@@ -179,55 +239,74 @@ impl CacheArray {
         }
     }
 
-    #[inline]
-    fn set_slice(&self, set: usize) -> &[TagEntry] {
-        &self.entries[set * self.ways..(set + 1) * self.ways]
+    /// Slot index of `line` if present: one equality scan over the set's
+    /// tag words, nothing else touched.
+    #[inline(always)]
+    fn find(&self, line: Addr) -> Option<usize> {
+        let base = self.set_of(line) * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        tags.iter().position(|&t| t == line).map(|w| base + w)
     }
 
+    /// Clear slot `i` back to the empty-way state.
     #[inline]
-    fn set_slice_mut(&mut self, set: usize) -> &mut [TagEntry] {
-        &mut self.entries[set * self.ways..(set + 1) * self.ways]
+    fn clear_slot(&mut self, i: usize) {
+        self.tags[i] = TAG_INVALID;
+        self.rrpv[i] = RRPV_MAX;
+        self.lru[i] = 0;
+        self.ready[i] = 0;
+        self.flags[i] = 0;
+        self.sharers[i] = 0;
+        self.owner[i] = OWNER_NONE;
+    }
+
+    /// Assemble the value view of slot `i`.
+    #[inline]
+    fn entry_at(&self, i: usize) -> TagEntry {
+        let f = self.flags[i];
+        TagEntry {
+            line: self.tags[i],
+            valid: self.tags[i] != TAG_INVALID,
+            dirty: f & F_DIRTY != 0,
+            morph: f & F_MORPH != 0,
+            rrpv: self.rrpv[i],
+            lru_stamp: self.lru[i],
+            ready_at: self.ready[i],
+            prefetched: f & F_PREFETCHED != 0,
+            exclusive: f & F_EXCLUSIVE != 0,
+            sharers: self.sharers[i],
+            owner: (self.owner[i] != OWNER_NONE).then_some(self.owner[i]),
+        }
     }
 
     /// Find `line` in the array.
-    #[inline]
-    pub fn probe(&self, line: Addr) -> Option<&TagEntry> {
-        let set = self.set_of(line);
-        self.set_slice(set)
-            .iter()
-            .find(|e| e.valid && e.line == line)
+    #[inline(always)]
+    pub fn probe(&self, line: Addr) -> Option<EntryRef<'_>> {
+        self.find(line).map(|i| EntryRef { a: self, i })
     }
 
     /// Find `line` in the array, mutably.
-    #[inline]
-    pub fn probe_mut(&mut self, line: Addr) -> Option<&mut TagEntry> {
-        let set = self.set_of(line);
-        self.set_slice_mut(set)
-            .iter_mut()
-            .find(|e| e.valid && e.line == line)
+    #[inline(always)]
+    pub fn probe_mut(&mut self, line: Addr) -> Option<EntryMut<'_>> {
+        self.find(line).map(move |i| EntryMut { a: self, i })
     }
 
     /// The per-access hit path: find `line` and, if present, promote it
-    /// per the replacement policy in the same walk, returning the
-    /// promoted entry so callers can read/update state bits (dirty,
+    /// per the replacement policy in the same walk, returning a handle to
+    /// the promoted entry so callers can read/update state bits (dirty,
     /// sharers, prefetched) without a second tag walk. Performs no heap
     /// allocation. Callers that consume the prefetched flag clear it via
-    /// the returned entry; [`CacheArray::touch`] does both.
-    #[inline]
-    pub fn lookup(&mut self, line: Addr) -> Option<&mut TagEntry> {
+    /// the returned handle; [`CacheArray::touch`] does both.
+    #[inline(always)]
+    pub fn lookup(&mut self, line: Addr) -> Option<EntryMut<'_>> {
         self.stamp += 1;
         let stamp = self.stamp;
-        let repl = self.cfg.repl;
-        let set = self.set_of(line);
-        let e = self
-            .set_slice_mut(set)
-            .iter_mut()
-            .find(|e| e.valid && e.line == line)?;
-        match repl {
-            ReplPolicy::Lru => e.lru_stamp = stamp,
-            ReplPolicy::Rrip | ReplPolicy::Trrip => e.rrpv = 0,
+        let i = self.find(line)?;
+        match self.cfg.repl {
+            ReplPolicy::Lru => self.lru[i] = stamp,
+            ReplPolicy::Rrip | ReplPolicy::Trrip => self.rrpv[i] = 0,
         }
-        Some(e)
+        Some(EntryMut { a: self, i })
     }
 
     /// Record a hit on `line`: promote it per the replacement policy and
@@ -235,12 +314,50 @@ impl CacheArray {
     #[inline]
     pub fn touch(&mut self, line: Addr) -> bool {
         match self.lookup(line) {
-            Some(e) => {
-                e.prefetched = false;
+            Some(mut e) => {
+                e.set_prefetched(false);
                 true
             }
             None => false,
         }
+    }
+
+    /// The monotone touch stamp backing LRU promotion. Exposed (with
+    /// [`CacheArray::set_touch_stamp`]) so a speculative lane step can
+    /// be rolled back exactly: `lookup` advances the stamp even on a
+    /// miss, so undo must restore it alongside the touched slot.
+    #[inline]
+    pub fn touch_stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Overwrite the touch stamp (lane-step rollback only).
+    #[inline]
+    pub fn set_touch_stamp(&mut self, v: u64) {
+        self.stamp = v;
+    }
+
+    /// Capture the replacement-relevant state of the slot holding
+    /// `line`, for lane-step rollback. A pure (L1-hit) step mutates only
+    /// rrpv/LRU promotion state and the flag byte — tags, fill times,
+    /// sharers, and ownership are untouched — so this triple plus the
+    /// touch stamp is a complete undo record for the slot.
+    #[inline]
+    pub fn slot_undo(&self, line: Addr) -> Option<SlotUndo> {
+        self.find(line).map(|i| SlotUndo {
+            slot: i,
+            rrpv: self.rrpv[i],
+            lru: self.lru[i],
+            flags: self.flags[i],
+        })
+    }
+
+    /// Restore a capture taken by [`CacheArray::slot_undo`].
+    #[inline]
+    pub fn restore_slot(&mut self, u: SlotUndo) {
+        self.rrpv[u.slot] = u.rrpv;
+        self.lru[u.slot] = u.lru;
+        self.flags[u.slot] = u.flags;
     }
 
     /// Choose a victim way in `set` for inserting a line with
@@ -254,6 +371,7 @@ impl CacheArray {
     /// RRIP aging revisits the set, and at most once.
     fn victim(&mut self, set: usize, inserting_morph: bool) -> usize {
         let repl = self.cfg.repl;
+        let base = set * self.ways;
         let mut invalid = None;
         let mut lru_way = 0usize;
         let mut lru_min = u64::MAX;
@@ -262,26 +380,27 @@ impl CacheArray {
         let mut callback_free = 0usize;
         let mut morph_way = None;
         let mut morph_key = (0u8, 0u64);
-        for (w, e) in self.set_slice(set).iter().enumerate() {
-            if !e.valid {
+        for w in 0..self.ways {
+            let i = base + w;
+            if self.tags[i] == TAG_INVALID {
                 if invalid.is_none() {
                     invalid = Some(w);
                 }
                 callback_free += 1;
                 continue;
             }
-            if e.lru_stamp < lru_min {
-                lru_min = e.lru_stamp;
+            if self.lru[i] < lru_min {
+                lru_min = self.lru[i];
                 lru_way = w;
             }
-            if e.rrpv > rrpv_max {
-                rrpv_max = e.rrpv;
+            if self.rrpv[i] > rrpv_max {
+                rrpv_max = self.rrpv[i];
                 rrpv_way = w;
             }
-            if !e.morph {
+            if self.flags[i] & F_MORPH == 0 {
                 callback_free += 1;
             } else {
-                let key = (e.rrpv, u64::MAX - e.lru_stamp);
+                let key = (self.rrpv[i], u64::MAX - self.lru[i]);
                 if morph_way.is_none() || key > morph_key {
                     morph_way = Some(w);
                     morph_key = key;
@@ -303,10 +422,12 @@ impl CacheArray {
             ReplPolicy::Rrip | ReplPolicy::Trrip => {
                 // SRRIP aging, batched: instead of repeated +1 sweeps
                 // until some line reaches RRPV_MAX, add the deficit once.
+                // (Only reached when every way is valid, so the sweep
+                // touches live rrpv bytes only.)
                 let age = RRPV_MAX - rrpv_max;
                 if age > 0 {
-                    for e in self.set_slice_mut(set) {
-                        e.rrpv += age;
+                    for r in &mut self.rrpv[base..base + self.ways] {
+                        *r += age;
                     }
                 }
                 rrpv_way
@@ -332,83 +453,217 @@ impl CacheArray {
         let stamp = self.stamp;
         let set = self.set_of(line);
         let way = self.victim(set, morph);
-        let repl = self.cfg.repl;
-        let e = &mut self.set_slice_mut(set)[way];
-        let evicted = e.valid.then_some(EvictEvent {
-            cause: EvictCause::Capacity,
-            line: e.line,
-            dirty: e.dirty,
-            morph: e.morph,
-            prefetched_unused: e.prefetched,
-            sharers: e.sharers,
-            owner: e.owner,
+        let i = set * self.ways + way;
+        let evicted = (self.tags[i] != TAG_INVALID).then(|| {
+            let f = self.flags[i];
+            EvictEvent {
+                cause: EvictCause::Capacity,
+                line: self.tags[i],
+                dirty: f & F_DIRTY != 0,
+                morph: f & F_MORPH != 0,
+                prefetched_unused: f & F_PREFETCHED != 0,
+                sharers: self.sharers[i],
+                owner: (self.owner[i] != OWNER_NONE).then_some(self.owner[i]),
+            }
         });
-        let rrpv = match (repl, kind) {
+        self.tags[i] = line;
+        self.rrpv[i] = match (self.cfg.repl, kind) {
             (ReplPolicy::Trrip, InsertKind::Engine) => RRPV_MAX,
             _ => RRPV_LONG,
         };
-        *e = TagEntry {
-            line,
-            valid: true,
-            dirty,
-            morph,
-            rrpv,
-            lru_stamp: stamp,
-            ready_at,
-            prefetched: kind == InsertKind::Prefetch,
-            exclusive: false,
-            sharers: 0,
-            owner: None,
-        };
+        self.lru[i] = stamp;
+        self.ready[i] = ready_at;
+        self.flags[i] = (dirty as u8 * F_DIRTY)
+            | (morph as u8 * F_MORPH)
+            | ((kind == InsertKind::Prefetch) as u8 * F_PREFETCHED);
+        self.sharers[i] = 0;
+        self.owner[i] = OWNER_NONE;
         evicted
     }
 
     /// Remove `line` if present, returning its eviction record.
     #[inline]
     pub fn invalidate(&mut self, line: Addr) -> Option<EvictEvent> {
-        let set = self.set_of(line);
-        let e = self
-            .set_slice_mut(set)
-            .iter_mut()
-            .find(|e| e.valid && e.line == line)?;
+        let i = self.find(line)?;
+        let f = self.flags[i];
         let ev = EvictEvent {
             cause: EvictCause::Invalidation,
-            line: e.line,
-            dirty: e.dirty,
-            morph: e.morph,
-            prefetched_unused: e.prefetched,
-            sharers: e.sharers,
-            owner: e.owner,
+            line: self.tags[i],
+            dirty: f & F_DIRTY != 0,
+            morph: f & F_MORPH != 0,
+            prefetched_unused: f & F_PREFETCHED != 0,
+            sharers: self.sharers[i],
+            owner: (self.owner[i] != OWNER_NONE).then_some(self.owner[i]),
         };
-        *e = TagEntry::invalid();
+        self.clear_slot(i);
         Some(ev)
     }
 
     /// All valid lines whose address falls in `range` (used by flushData's
-    /// tag-array walk, Sec 4.4).
+    /// tag-array walk, Sec 4.4). Scans only the tag vector.
     pub fn lines_in_range(&self, range: AddrRange) -> Vec<Addr> {
-        self.entries
+        self.tags
             .iter()
-            .filter(|e| e.valid && range.contains(e.line))
-            .map(|e| e.line)
+            .copied()
+            .filter(|&t| t != TAG_INVALID && range.contains(t))
             .collect()
     }
 
     /// Number of valid lines currently held.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.tags.iter().filter(|&&t| t != TAG_INVALID).count()
     }
 
     /// Check the trrîp deadlock-avoidance invariant: no set consists
     /// entirely of Morph-registered valid lines. (Vacuously true for sets
     /// with an invalid way.)
     pub fn morph_invariant_holds(&self) -> bool {
-        (0..self.sets).all(|s| self.set_slice(s).iter().any(|e| !e.valid || !e.morph))
+        (0..self.sets).all(|s| {
+            let base = s * self.ways;
+            (base..base + self.ways)
+                .any(|i| self.tags[i] == TAG_INVALID || self.flags[i] & F_MORPH == 0)
+        })
     }
 
-    /// Iterate over all valid entries.
-    pub fn iter(&self) -> impl Iterator<Item = &TagEntry> {
-        self.entries.iter().filter(|e| e.valid)
+    /// Iterate over all valid entries, as assembled values.
+    pub fn iter(&self) -> impl Iterator<Item = TagEntry> + '_ {
+        (0..self.tags.len())
+            .filter(|&i| self.tags[i] != TAG_INVALID)
+            .map(|i| self.entry_at(i))
+    }
+}
+
+/// Shared handle to one occupied way: inline field reads against the
+/// parallel vectors. Obtained from [`CacheArray::probe`].
+#[derive(Debug)]
+pub struct EntryRef<'a> {
+    a: &'a CacheArray,
+    i: usize,
+}
+
+/// Mutable handle to one occupied way. Obtained from
+/// [`CacheArray::probe_mut`] / [`CacheArray::lookup`]. Setters write the
+/// single affected field vector; nothing else moves.
+#[derive(Debug)]
+pub struct EntryMut<'a> {
+    a: &'a mut CacheArray,
+    i: usize,
+}
+
+macro_rules! entry_getters {
+    ($ty:ident) => {
+        impl $ty<'_> {
+            /// Line-aligned address held by this way.
+            #[inline(always)]
+            pub fn line(&self) -> Addr {
+                self.a.tags[self.i]
+            }
+
+            /// Line differs from the next level / backing store.
+            #[inline(always)]
+            pub fn dirty(&self) -> bool {
+                self.a.flags[self.i] & F_DIRTY != 0
+            }
+
+            /// A Morph is registered for this line at this level.
+            #[inline(always)]
+            pub fn morph(&self) -> bool {
+                self.a.flags[self.i] & F_MORPH != 0
+            }
+
+            /// Inserted by the prefetcher and not yet demanded.
+            #[inline(always)]
+            pub fn prefetched(&self) -> bool {
+                self.a.flags[self.i] & F_PREFETCHED != 0
+            }
+
+            /// Private caches: this tile holds the only copy.
+            #[inline(always)]
+            pub fn exclusive(&self) -> bool {
+                self.a.flags[self.i] & F_EXCLUSIVE != 0
+            }
+
+            /// Cycle the line's fill or locking callback completes.
+            #[inline(always)]
+            pub fn ready_at(&self) -> Cycle {
+                self.a.ready[self.i]
+            }
+
+            /// Directory: bitmask of tiles holding the line.
+            #[inline(always)]
+            pub fn sharers(&self) -> u64 {
+                self.a.sharers[self.i]
+            }
+
+            /// Directory: tile holding the line modified, if any.
+            #[inline(always)]
+            pub fn owner(&self) -> Option<u8> {
+                let o = self.a.owner[self.i];
+                (o != OWNER_NONE).then_some(o)
+            }
+
+            /// The assembled value view of this way.
+            #[inline]
+            pub fn get(&self) -> TagEntry {
+                self.a.entry_at(self.i)
+            }
+        }
+    };
+}
+
+entry_getters!(EntryRef);
+entry_getters!(EntryMut);
+
+impl EntryMut<'_> {
+    #[inline(always)]
+    fn set_flag(&mut self, bit: u8, v: bool) {
+        if v {
+            self.a.flags[self.i] |= bit;
+        } else {
+            self.a.flags[self.i] &= !bit;
+        }
+    }
+
+    /// Set/clear the dirty bit.
+    #[inline(always)]
+    pub fn set_dirty(&mut self, v: bool) {
+        self.set_flag(F_DIRTY, v);
+    }
+
+    /// Set/clear the prefetched bit.
+    #[inline(always)]
+    pub fn set_prefetched(&mut self, v: bool) {
+        self.set_flag(F_PREFETCHED, v);
+    }
+
+    /// Set/clear the exclusive bit.
+    #[inline(always)]
+    pub fn set_exclusive(&mut self, v: bool) {
+        self.set_flag(F_EXCLUSIVE, v);
+    }
+
+    /// Overwrite the directory sharer mask.
+    #[inline(always)]
+    pub fn set_sharers(&mut self, mask: u64) {
+        self.a.sharers[self.i] = mask;
+    }
+
+    /// Overwrite the directory modified owner.
+    #[inline(always)]
+    pub fn set_owner(&mut self, owner: Option<u8>) {
+        self.a.owner[self.i] = owner.unwrap_or(OWNER_NONE);
+    }
+
+    /// Overwrite the RRPV (demotion paths).
+    #[inline(always)]
+    pub fn set_rrpv(&mut self, v: u8) {
+        self.a.rrpv[self.i] = v;
+    }
+
+    /// Overwrite the LRU stamp (demotion paths).
+    #[inline(always)]
+    pub fn set_lru_stamp(&mut self, v: u64) {
+        self.a.lru[self.i] = v;
     }
 }
 
@@ -416,24 +671,32 @@ impl tako_sim::checkpoint::Snapshot for CacheArray {
     fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
         w.section("array");
         // Geometry is config-derived, not restored; it is written so load
-        // can verify the snapshot matches the rebuilt array.
+        // can verify the snapshot matches the rebuilt array. The body is
+        // the SoA vectors field-by-field (SNAP_VERSION 3 layout).
         w.put_u64(self.sets as u64);
         w.put_u64(self.ways as u64);
         w.put_u64(self.stamp);
-        w.put_len(self.entries.len());
-        for e in &self.entries {
-            w.put_u64(e.line);
-            w.put_bool(e.valid);
-            w.put_bool(e.dirty);
-            w.put_bool(e.morph);
-            w.put_u8(e.rrpv);
-            w.put_u64(e.lru_stamp);
-            w.put_u64(e.ready_at);
-            w.put_bool(e.prefetched);
-            w.put_bool(e.exclusive);
-            w.put_u64(e.sharers);
-            w.put_bool(e.owner.is_some());
-            w.put_u8(e.owner.unwrap_or(0));
+        w.put_len(self.tags.len());
+        for &t in &self.tags {
+            w.put_u64(t);
+        }
+        for &r in &self.rrpv {
+            w.put_u8(r);
+        }
+        for &l in &self.lru {
+            w.put_u64(l);
+        }
+        for &c in &self.ready {
+            w.put_u64(c);
+        }
+        for &f in &self.flags {
+            w.put_u8(f);
+        }
+        for &s in &self.sharers {
+            w.put_u64(s);
+        }
+        for &o in &self.owner {
+            w.put_u8(o);
         }
     }
 
@@ -452,21 +715,27 @@ impl tako_sim::checkpoint::Snapshot for CacheArray {
             )));
         }
         self.stamp = r.get_u64()?;
-        r.get_len_expect("cache array entries", self.entries.len())?;
-        for e in &mut self.entries {
-            e.line = r.get_u64()?;
-            e.valid = r.get_bool()?;
-            e.dirty = r.get_bool()?;
-            e.morph = r.get_bool()?;
-            e.rrpv = r.get_u8()?;
-            e.lru_stamp = r.get_u64()?;
-            e.ready_at = r.get_u64()?;
-            e.prefetched = r.get_bool()?;
-            e.exclusive = r.get_bool()?;
-            e.sharers = r.get_u64()?;
-            let has_owner = r.get_bool()?;
-            let owner = r.get_u8()?;
-            e.owner = has_owner.then_some(owner);
+        r.get_len_expect("cache array entries", self.tags.len())?;
+        for t in &mut self.tags {
+            *t = r.get_u64()?;
+        }
+        for v in &mut self.rrpv {
+            *v = r.get_u8()?;
+        }
+        for l in &mut self.lru {
+            *l = r.get_u64()?;
+        }
+        for c in &mut self.ready {
+            *c = r.get_u64()?;
+        }
+        for f in &mut self.flags {
+            *f = r.get_u8()?;
+        }
+        for s in &mut self.sharers {
+            *s = r.get_u64()?;
+        }
+        for o in &mut self.owner {
+            *o = r.get_u8()?;
         }
         Ok(())
     }
@@ -574,9 +843,9 @@ mod tests {
     fn prefetched_flag_lifecycle() {
         let mut a = tiny(ReplPolicy::Trrip);
         a.insert(line(1, 0), false, false, InsertKind::Prefetch, 50);
-        assert!(a.probe(line(1, 0)).expect("present").prefetched);
+        assert!(a.probe(line(1, 0)).expect("present").prefetched());
         a.touch(line(1, 0));
-        assert!(!a.probe(line(1, 0)).expect("present").prefetched);
+        assert!(!a.probe(line(1, 0)).expect("present").prefetched());
     }
 
     #[test]
@@ -588,6 +857,32 @@ mod tests {
         let mut got = a.lines_in_range(AddrRange::new(0, 128));
         got.sort_unstable();
         assert_eq!(got, vec![0, 64]);
+    }
+
+    #[test]
+    fn entry_handles_read_and_write_fields() {
+        let mut a = tiny(ReplPolicy::Trrip);
+        a.insert(line(0, 0), false, true, InsertKind::Demand, 42);
+        {
+            let mut e = a.probe_mut(line(0, 0)).expect("present");
+            assert!(!e.dirty() && e.morph() && !e.exclusive());
+            assert_eq!(e.ready_at(), 42);
+            assert_eq!(e.owner(), None);
+            e.set_dirty(true);
+            e.set_exclusive(true);
+            e.set_sharers(0b1010);
+            e.set_owner(Some(3));
+        }
+        let v = a.probe(line(0, 0)).expect("present").get();
+        assert!(v.dirty && v.exclusive && v.morph && v.valid);
+        assert_eq!(v.sharers, 0b1010);
+        assert_eq!(v.owner, Some(3));
+        assert_eq!(v.ready_at, 42);
+        let mut e = a.probe_mut(line(0, 0)).expect("present");
+        e.set_owner(None);
+        e.set_dirty(false);
+        assert_eq!(e.owner(), None);
+        assert!(!e.dirty());
     }
 
     // Deterministic randomized tests (the in-tree Rng replaces proptest,
@@ -657,7 +952,13 @@ mod tests {
         let snap = encode(&a);
         let mut b = tiny(ReplPolicy::Trrip);
         decode(&snap, &mut b).unwrap();
-        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.tags, b.tags);
+        assert_eq!(a.rrpv, b.rrpv);
+        assert_eq!(a.lru, b.lru);
+        assert_eq!(a.ready, b.ready);
+        assert_eq!(a.flags, b.flags);
+        assert_eq!(a.sharers, b.sharers);
+        assert_eq!(a.owner, b.owner);
         assert_eq!(a.stamp, b.stamp);
         // Future behavior is identical, not just current tags.
         for _ in 0..100 {
@@ -715,9 +1016,312 @@ mod tests {
                 }
             }
             if let Some(e) = a.probe(addr) {
-                assert!(e.dirty);
+                assert!(e.dirty());
             } else {
                 assert!(seen_dirty);
+            }
+        }
+    }
+
+    /// The pre-SoA array-of-structs layout, kept verbatim as a reference
+    /// model: every operation below mirrors the old `CacheArray` logic
+    /// field for field, so the equivalence test can drive both layouts
+    /// with the same randomized sequence and demand identical outcomes.
+    mod aos_ref {
+        use super::super::*;
+
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        pub struct AosEntry {
+            pub line: Addr,
+            pub valid: bool,
+            pub dirty: bool,
+            pub morph: bool,
+            pub rrpv: u8,
+            pub lru_stamp: u64,
+            pub ready_at: Cycle,
+            pub prefetched: bool,
+            pub sharers: u64,
+            pub owner: Option<u8>,
+        }
+
+        impl AosEntry {
+            fn invalid() -> Self {
+                AosEntry {
+                    line: 0,
+                    valid: false,
+                    dirty: false,
+                    morph: false,
+                    rrpv: RRPV_MAX,
+                    lru_stamp: 0,
+                    ready_at: 0,
+                    prefetched: false,
+                    sharers: 0,
+                    owner: None,
+                }
+            }
+        }
+
+        pub struct AosArray {
+            repl: ReplPolicy,
+            sets: usize,
+            ways: usize,
+            set_shift: u32,
+            entries: Vec<AosEntry>,
+            stamp: u64,
+        }
+
+        impl AosArray {
+            pub fn new(cfg: CacheConfig) -> Self {
+                let sets = cfg.sets() as usize;
+                let ways = cfg.ways as usize;
+                AosArray {
+                    repl: cfg.repl,
+                    sets,
+                    ways,
+                    set_shift: LINE_BYTES.trailing_zeros(),
+                    entries: vec![AosEntry::invalid(); sets * ways],
+                    stamp: 0,
+                }
+            }
+
+            fn set_of(&self, line: Addr) -> usize {
+                ((line >> self.set_shift) % self.sets as u64) as usize
+            }
+
+            pub fn probe(&self, line: Addr) -> Option<&AosEntry> {
+                let s = self.set_of(line);
+                self.entries[s * self.ways..(s + 1) * self.ways]
+                    .iter()
+                    .find(|e| e.valid && e.line == line)
+            }
+
+            pub fn lookup(&mut self, line: Addr) -> Option<&mut AosEntry> {
+                self.stamp += 1;
+                let stamp = self.stamp;
+                let repl = self.repl;
+                let s = self.set_of(line);
+                let e = self.entries[s * self.ways..(s + 1) * self.ways]
+                    .iter_mut()
+                    .find(|e| e.valid && e.line == line)?;
+                match repl {
+                    ReplPolicy::Lru => e.lru_stamp = stamp,
+                    ReplPolicy::Rrip | ReplPolicy::Trrip => e.rrpv = 0,
+                }
+                Some(e)
+            }
+
+            pub fn touch(&mut self, line: Addr) -> bool {
+                match self.lookup(line) {
+                    Some(e) => {
+                        e.prefetched = false;
+                        true
+                    }
+                    None => false,
+                }
+            }
+
+            fn victim(&mut self, set: usize, inserting_morph: bool) -> usize {
+                let repl = self.repl;
+                let mut invalid = None;
+                let mut lru_way = 0usize;
+                let mut lru_min = u64::MAX;
+                let mut rrpv_way = 0usize;
+                let mut rrpv_max = 0u8;
+                let mut callback_free = 0usize;
+                let mut morph_way = None;
+                let mut morph_key = (0u8, 0u64);
+                let base = set * self.ways;
+                for (w, e) in self.entries[base..base + self.ways].iter().enumerate() {
+                    if !e.valid {
+                        if invalid.is_none() {
+                            invalid = Some(w);
+                        }
+                        callback_free += 1;
+                        continue;
+                    }
+                    if e.lru_stamp < lru_min {
+                        lru_min = e.lru_stamp;
+                        lru_way = w;
+                    }
+                    if e.rrpv > rrpv_max {
+                        rrpv_max = e.rrpv;
+                        rrpv_way = w;
+                    }
+                    if !e.morph {
+                        callback_free += 1;
+                    } else {
+                        let key = (e.rrpv, u64::MAX - e.lru_stamp);
+                        if morph_way.is_none() || key > morph_key {
+                            morph_way = Some(w);
+                            morph_key = key;
+                        }
+                    }
+                }
+                if repl == ReplPolicy::Trrip && inserting_morph && callback_free <= 1 {
+                    if let Some(w) = morph_way {
+                        return w;
+                    }
+                }
+                if let Some(w) = invalid {
+                    return w;
+                }
+                match repl {
+                    ReplPolicy::Lru => lru_way,
+                    ReplPolicy::Rrip | ReplPolicy::Trrip => {
+                        let age = RRPV_MAX - rrpv_max;
+                        if age > 0 {
+                            for e in &mut self.entries[base..base + self.ways] {
+                                e.rrpv += age;
+                            }
+                        }
+                        rrpv_way
+                    }
+                }
+            }
+
+            pub fn insert(
+                &mut self,
+                line: Addr,
+                dirty: bool,
+                morph: bool,
+                kind: InsertKind,
+                ready_at: Cycle,
+            ) -> Option<EvictEvent> {
+                self.stamp += 1;
+                let stamp = self.stamp;
+                let set = self.set_of(line);
+                let way = self.victim(set, morph);
+                let repl = self.repl;
+                let e = &mut self.entries[set * self.ways + way];
+                let evicted = e.valid.then_some(EvictEvent {
+                    cause: EvictCause::Capacity,
+                    line: e.line,
+                    dirty: e.dirty,
+                    morph: e.morph,
+                    prefetched_unused: e.prefetched,
+                    sharers: e.sharers,
+                    owner: e.owner,
+                });
+                let rrpv = match (repl, kind) {
+                    (ReplPolicy::Trrip, InsertKind::Engine) => RRPV_MAX,
+                    _ => RRPV_LONG,
+                };
+                *e = AosEntry {
+                    line,
+                    valid: true,
+                    dirty,
+                    morph,
+                    rrpv,
+                    lru_stamp: stamp,
+                    ready_at,
+                    prefetched: kind == InsertKind::Prefetch,
+                    sharers: 0,
+                    owner: None,
+                };
+                evicted
+            }
+
+            pub fn invalidate(&mut self, line: Addr) -> Option<EvictEvent> {
+                let s = self.set_of(line);
+                let e = self.entries[s * self.ways..(s + 1) * self.ways]
+                    .iter_mut()
+                    .find(|e| e.valid && e.line == line)?;
+                let ev = EvictEvent {
+                    cause: EvictCause::Invalidation,
+                    line: e.line,
+                    dirty: e.dirty,
+                    morph: e.morph,
+                    prefetched_unused: e.prefetched,
+                    sharers: e.sharers,
+                    owner: e.owner,
+                };
+                *e = AosEntry::invalid();
+                Some(ev)
+            }
+
+            pub fn occupancy(&self) -> usize {
+                self.entries.iter().filter(|e| e.valid).count()
+            }
+        }
+    }
+
+    /// Behavior identity: the SoA layout replays a long randomized mix of
+    /// probes, promoting lookups, inserts (all three kinds, all three
+    /// policies, morph and plain), and invalidates bit-for-bit like the
+    /// old array-of-structs layout — same hits, same victims, same
+    /// eviction records, same occupancy and replacement-state evolution.
+    #[test]
+    fn soa_matches_aos_reference_on_random_sequences() {
+        for (seed, repl) in [
+            (0x5071u64, ReplPolicy::Lru),
+            (0x5072, ReplPolicy::Rrip),
+            (0x5073, ReplPolicy::Trrip),
+            (0x5074, ReplPolicy::Trrip),
+        ] {
+            let mut rng = Rng::new(seed);
+            let cfg = CacheConfig {
+                size_bytes: 16 * LINE_BYTES, // 8 sets x 2 ways
+                ways: 2,
+                tag_latency: 1,
+                data_latency: 1,
+                repl,
+                mshrs: 4,
+            };
+            let mut soa = CacheArray::new(cfg);
+            let mut aos = aos_ref::AosArray::new(cfg);
+            for step in 0..4000u64 {
+                let addr = rng.below(96) * LINE_BYTES;
+                match rng.below(10) {
+                    0 => {
+                        let ev_s = soa.invalidate(addr);
+                        let ev_a = aos.invalidate(addr);
+                        assert_eq!(ev_s, ev_a, "invalidate diverged at step {step}");
+                    }
+                    1..=3 => {
+                        let hit_s = soa.touch(addr);
+                        let hit_a = aos.touch(addr);
+                        assert_eq!(hit_s, hit_a, "touch diverged at step {step}");
+                    }
+                    _ => {
+                        let present_s = soa.probe(addr).is_some();
+                        assert_eq!(present_s, aos.probe(addr).is_some());
+                        if present_s {
+                            // Promoting hit that also flips payload bits.
+                            let mut e = soa.lookup(addr).expect("present");
+                            let dirty = rng.chance(0.5);
+                            e.set_dirty(dirty);
+                            let ea = aos.lookup(addr).expect("present");
+                            ea.dirty = dirty;
+                        } else {
+                            let dirty = rng.chance(0.3);
+                            let morph = rng.chance(0.3);
+                            let kind = match rng.below(3) {
+                                0 => InsertKind::Demand,
+                                1 => InsertKind::Prefetch,
+                                _ => InsertKind::Engine,
+                            };
+                            let ev_s = soa.insert(addr, dirty, morph, kind, step);
+                            let ev_a = aos.insert(addr, dirty, morph, kind, step);
+                            assert_eq!(ev_s, ev_a, "insert diverged at step {step}");
+                        }
+                    }
+                }
+                assert_eq!(soa.occupancy(), aos.occupancy());
+                // Spot-check assembled per-way state on a random probe.
+                let spot = rng.below(96) * LINE_BYTES;
+                match (soa.probe(spot), aos.probe(spot)) {
+                    (Some(s), Some(a)) => {
+                        assert_eq!(s.line(), a.line);
+                        assert_eq!(s.dirty(), a.dirty);
+                        assert_eq!(s.morph(), a.morph);
+                        assert_eq!(s.prefetched(), a.prefetched);
+                        assert_eq!(s.ready_at(), a.ready_at);
+                        let v = s.get();
+                        assert_eq!((v.rrpv, v.lru_stamp), (a.rrpv, a.lru_stamp));
+                    }
+                    (None, None) => {}
+                    (s, a) => panic!("presence diverged: soa={} aos={}", s.is_some(), a.is_some()),
+                }
             }
         }
     }

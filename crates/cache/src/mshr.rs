@@ -7,8 +7,6 @@
 //! a request waiting on a callback (Sec 5.2's forward-progress rule);
 //! [`MshrFile::try_alloc`] enforces the reservation.
 
-use std::collections::HashMap;
-
 use tako_mem::addr::Addr;
 use tako_sim::Cycle;
 
@@ -31,10 +29,15 @@ struct Entry {
 }
 
 /// A bounded file of outstanding misses.
+///
+/// Entries live in a flat `Vec` rather than a map: the file holds at
+/// most a few dozen lines, and at that size a linear scan is faster
+/// than hashing and — unlike map-based draining — never allocates on
+/// the access hot path.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<Addr, Entry>,
+    entries: Vec<(Addr, Entry)>,
 }
 
 impl MshrFile {
@@ -47,7 +50,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: Vec::with_capacity(capacity),
         }
     }
 
@@ -59,7 +62,7 @@ impl MshrFile {
         completes_at: Cycle,
         for_callback: bool,
     ) -> MshrOutcome {
-        if let Some(e) = self.entries.get(&line) {
+        if let Some((_, e)) = self.entries.iter().find(|(a, _)| *a == line) {
             return MshrOutcome::Secondary(e.completes_at);
         }
         let used = self.entries.len();
@@ -71,32 +74,32 @@ impl MshrFile {
         if used >= limit {
             return MshrOutcome::Full;
         }
-        self.entries.insert(
+        self.entries.push((
             line,
             Entry {
                 completes_at,
                 for_callback,
             },
-        );
+        ));
         MshrOutcome::Primary
     }
 
     /// Retire all entries whose fill completed at or before `now`;
     /// returns the earliest completion among the retired (if any).
+    #[inline]
     pub fn drain(&mut self, now: Cycle) -> Option<Cycle> {
-        let done: Vec<Addr> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.completes_at <= now)
-            .map(|(a, _)| *a)
-            .collect();
         let mut earliest = None;
-        for a in done {
-            if let Some(e) = self.entries.remove(&a) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let done = self.entries[i].1.completes_at;
+            if done <= now {
+                self.entries.swap_remove(i);
                 earliest = Some(match earliest {
-                    None => e.completes_at,
-                    Some(x) => e.completes_at.min(x),
+                    None => done,
+                    Some(x) => done.min(x),
                 });
+            } else {
+                i += 1;
             }
         }
         earliest
@@ -104,18 +107,21 @@ impl MshrFile {
 
     /// Completion cycle of the in-flight fill for `line`, if any.
     pub fn inflight(&self, line: Addr) -> Option<Cycle> {
-        self.entries.get(&line).map(|e| e.completes_at)
+        self.entries
+            .iter()
+            .find(|(a, _)| *a == line)
+            .map(|(_, e)| e.completes_at)
     }
 
     /// Number of outstanding entries held by callback-waiting requests.
     pub fn callback_entries(&self) -> usize {
-        self.entries.values().filter(|e| e.for_callback).count()
+        self.entries.iter().filter(|(_, e)| e.for_callback).count()
     }
 
     /// Earliest completion among all outstanding fills (what a stalled
     /// request should wait for).
     pub fn earliest_completion(&self) -> Option<Cycle> {
-        self.entries.values().map(|e| e.completes_at).min()
+        self.entries.iter().map(|(_, e)| e.completes_at).min()
     }
 
     /// The file's total entry count.
@@ -152,7 +158,7 @@ impl tako_sim::checkpoint::Snapshot for MshrFile {
         w.put_usize(self.capacity);
         // Canonical order: HashMap iteration order is not deterministic,
         // so entries are written sorted by address.
-        let mut entries: Vec<(Addr, Entry)> = self.entries.iter().map(|(a, e)| (*a, *e)).collect();
+        let mut entries: Vec<(Addr, Entry)> = self.entries.clone();
         entries.sort_unstable_by_key(|(a, _)| *a);
         w.put_len(entries.len());
         for (addr, e) in entries {
@@ -186,13 +192,13 @@ impl tako_sim::checkpoint::Snapshot for MshrFile {
             let addr = r.get_u64()?;
             let completes_at = r.get_u64()?;
             let for_callback = r.get_bool()?;
-            self.entries.insert(
+            self.entries.push((
                 addr,
                 Entry {
                     completes_at,
                     for_callback,
                 },
-            );
+            ));
         }
         Ok(())
     }

@@ -326,12 +326,12 @@ impl<'a> EngineCtx<'a> {
         }
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
-        if let Some(e) = self.l1d.probe_mut(line) {
-            self.hier.bus.stats.bump(Counter::EngineL1Hit);
-            let done = (fire + 1).max(e.ready_at);
+        if let Some(mut e) = self.l1d.probe_mut(line) {
+            let done = (fire + 1).max(e.ready_at());
             if write {
-                e.dirty = true;
+                e.set_dirty(true);
             }
+            self.hier.bus.stats.bump(Counter::EngineL1Hit);
             self.l1d.touch(line);
             return self.trace.mem_complete(done);
         }
@@ -364,8 +364,8 @@ impl<'a> EngineCtx<'a> {
         let line = line_of(addr);
         let fire = self.trace.mem_fire(deps);
         if let Some(e) = self.l1d.probe_mut(line) {
+            let done = (fire + 1).max(e.ready_at());
             self.hier.bus.stats.bump(Counter::EngineL1Hit);
-            let done = (fire + 1).max(e.ready_at);
             self.l1d.touch(line);
             return self.trace.mem_complete(done);
         }

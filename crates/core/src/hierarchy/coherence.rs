@@ -58,19 +58,19 @@ impl Hierarchy {
             + self.mesh.transfer(bank, o, Payload::Control, &mut self.bus)
             + self.cfg.l2.data_latency
             + self.mesh.transfer(o, bank, Payload::Line, &mut self.bus);
-        if let Some(le) = self.tiles[o].l2.probe_mut(line) {
-            le.dirty = false;
-            le.exclusive = false;
+        if let Some(mut le) = self.tiles[o].l2.probe_mut(line) {
+            le.set_dirty(false);
+            le.set_exclusive(false);
         }
-        if let Some(le) = self.tiles[o].l1d.probe_mut(line) {
-            le.dirty = false;
+        if let Some(mut le) = self.tiles[o].l1d.probe_mut(line) {
+            le.set_dirty(false);
         }
         // A concurrent callback may have evicted the line between the
         // probe and here; skip the directory update rather than assume
         // presence.
-        if let Some(e) = self.llc[bank].probe_mut(line) {
-            e.dirty = true;
-            e.owner = None;
+        if let Some(mut e) = self.llc[bank].probe_mut(line) {
+            e.set_dirty(true);
+            e.set_owner(None);
         }
         t
     }
@@ -85,7 +85,7 @@ impl Hierarchy {
         t = self.bank_start(bank, t);
         let sharers = self.llc[bank]
             .probe(line)
-            .map(|e| e.sharers & !(1u64 << tile))
+            .map(|e| e.sharers() & !(1u64 << tile))
             .unwrap_or(0);
         let mut inval = 0;
         for s in Self::sharer_tiles(sharers) {
@@ -93,9 +93,9 @@ impl Hierarchy {
             self.merge_private_dirty(s, line, PrivateScope::L1AndL2);
             inval = inval.max(self.mesh.transfer(bank, s, Payload::Control, &mut self.bus));
         }
-        if let Some(e) = self.llc[bank].probe_mut(line) {
-            e.sharers = 1 << tile;
-            e.owner = Some(tile as u8);
+        if let Some(mut e) = self.llc[bank].probe_mut(line) {
+            e.set_sharers(1 << tile);
+            e.set_owner(Some(tile as u8));
         }
         t + inval
             + self

@@ -93,8 +93,8 @@ impl Hierarchy {
         } else {
             // Silent clean eviction: lazily clear the directory bit.
             let bank = self.mesh.bank_of_line(ev.line);
-            if let Some(e) = self.llc[bank].probe_mut(ev.line) {
-                e.sharers &= !(1u64 << tile);
+            if let Some(mut e) = self.llc[bank].probe_mut(ev.line) {
+                e.set_sharers(e.sharers() & !(1u64 << tile));
             }
         }
     }

@@ -50,9 +50,9 @@ impl Hierarchy {
         // the field updates below re-probe only on the paths that need
         // coherence work in between.
         let mut port = CachePort::new(&mut self.llc[bank], LevelId::Llc);
-        let probe = port.lookup_counted(line, &mut self.bus).map(|e| {
-            e.prefetched = false;
-            (e.ready_at, e.owner, e.sharers)
+        let probe = port.lookup_counted(line, &mut self.bus).map(|mut e| {
+            e.set_prefetched(false);
+            (e.ready_at(), e.owner(), e.sharers())
         });
         let exclusive;
         match probe {
@@ -74,22 +74,22 @@ impl Hierarchy {
                         let hop = self.mesh.transfer(bank, s, Payload::Control, &mut self.bus);
                         inval_lat = inval_lat.max(hop);
                         if d {
-                            if let Some(e) = self.llc[bank].probe_mut(line) {
-                                e.dirty = true;
+                            if let Some(mut e) = self.llc[bank].probe_mut(line) {
+                                e.set_dirty(true);
                             }
                         }
                     }
                     t += inval_lat;
-                    if let Some(e) = self.llc[bank].probe_mut(line) {
-                        e.sharers = if txn.track_sharer { 1 << tile } else { 0 };
-                        e.owner = txn.track_sharer.then_some(tile as u8);
+                    if let Some(mut e) = self.llc[bank].probe_mut(line) {
+                        e.set_sharers(if txn.track_sharer { 1 << tile } else { 0 });
+                        e.set_owner(txn.track_sharer.then_some(tile as u8));
                     }
                     exclusive = true;
-                } else if let Some(e) = self.llc[bank].probe_mut(line) {
+                } else if let Some(mut e) = self.llc[bank].probe_mut(line) {
                     if txn.track_sharer {
-                        e.sharers |= 1 << tile;
+                        e.set_sharers(e.sharers() | (1 << tile));
                     }
-                    exclusive = e.sharers & !(1u64 << tile) == 0 && e.owner.is_none();
+                    exclusive = e.sharers() & !(1u64 << tile) == 0 && e.owner().is_none();
                 } else {
                     // Line evicted out from under the hit path: claim
                     // nothing (a later write pays for an upgrade).
@@ -120,9 +120,9 @@ impl Hierarchy {
                 // Genuinely fallible: handle_llc_evict can run callbacks
                 // whose own traffic evicts the just-inserted line.
                 if txn.track_sharer {
-                    if let Some(e) = self.llc[bank].probe_mut(line) {
-                        e.sharers = 1 << tile;
-                        e.owner = write.then_some(tile as u8);
+                    if let Some(mut e) = self.llc[bank].probe_mut(line) {
+                        e.set_sharers(1 << tile);
+                        e.set_owner(write.then_some(tile as u8));
                     }
                 }
                 exclusive = true;
@@ -204,11 +204,11 @@ impl Hierarchy {
         let bank = self.mesh.bank_of_line(line);
         let t = t + self.mesh.transfer(tile, bank, Payload::Line, &mut self.bus);
         let t = self.bank_start(bank, t);
-        if let Some(e) = self.llc[bank].probe_mut(line) {
-            e.dirty = true;
-            e.sharers &= !(1u64 << tile);
-            if e.owner == Some(tile as u8) {
-                e.owner = None;
+        if let Some(mut e) = self.llc[bank].probe_mut(line) {
+            e.set_dirty(true);
+            e.set_sharers(e.sharers() & !(1u64 << tile));
+            if e.owner() == Some(tile as u8) {
+                e.set_owner(None);
             }
             return;
         }
@@ -234,12 +234,12 @@ impl Hierarchy {
         // Single-pass hit: promote, read the old sharer set, and apply
         // the RMO's unconditional state updates in one tag walk.
         let mut port = CachePort::new(&mut self.llc[bank], LevelId::Llc);
-        let present = port.lookup_counted(line, &mut self.bus).map(|e| {
-            let sharers = e.sharers;
-            e.prefetched = false;
-            e.dirty = true;
-            e.sharers = 0;
-            (e.ready_at, sharers)
+        let present = port.lookup_counted(line, &mut self.bus).map(|mut e| {
+            let sharers = e.sharers();
+            e.set_prefetched(false);
+            e.set_dirty(true);
+            e.set_sharers(0);
+            (e.ready_at(), sharers)
         });
         match present {
             Some((ready_at, sharers)) => {
@@ -311,12 +311,12 @@ impl Hierarchy {
                 let l2_cfg = self.cfg.l2;
                 // Single-pass hit: promote and update state in one walk.
                 let mut port = CachePort::new(&mut self.tiles[tile].l2, LevelId::L2);
-                let hit = port.lookup_counted(line, &mut self.bus).map(|e| {
-                    e.prefetched = false;
+                let hit = port.lookup_counted(line, &mut self.bus).map(|mut e| {
+                    e.set_prefetched(false);
                     if write {
-                        e.dirty = true;
+                        e.set_dirty(true);
                     }
-                    e.ready_at
+                    e.ready_at()
                 });
                 match hit {
                     Some(ready_at) => (t + l2_cfg.tag_latency + l2_cfg.data_latency).max(ready_at),
@@ -352,8 +352,8 @@ impl Hierarchy {
                 let (_, at_bank, _) = self.fetch_shared(&mut txn, t);
                 if write {
                     let bank = self.mesh.bank_of_line(line);
-                    if let Some(e) = self.llc[bank].probe_mut(line) {
-                        e.dirty = true;
+                    if let Some(mut e) = self.llc[bank].probe_mut(line) {
+                        e.set_dirty(true);
                     }
                 }
                 at_bank
@@ -363,8 +363,8 @@ impl Hierarchy {
 
     /// Writeback of a dirty line displaced from an engine L1d.
     pub fn engine_writeback(&mut self, tile: TileId, line: Addr, t: Cycle) {
-        if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
-            e.dirty = true;
+        if let Some(mut e) = self.tiles[tile].l2.probe_mut(line) {
+            e.set_dirty(true);
             return;
         }
         if !is_phantom(line) {

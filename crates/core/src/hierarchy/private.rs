@@ -11,7 +11,7 @@ use tako_cache::array::InsertKind;
 use tako_cpu::AccessKind;
 use tako_mem::addr::{is_phantom, line_of, Addr};
 use tako_sim::energy::EnergyModel;
-use tako_sim::event::{LevelId, TxnEvent, TxnSink};
+use tako_sim::event::{LevelId, SinkTap, TxnEvent, TxnSink};
 use tako_sim::{Cycle, TileId};
 
 use super::coherence::PrivateScope;
@@ -25,21 +25,53 @@ impl Hierarchy {
     /// Morph interposition, observed by the watchdog. Returns the
     /// completion cycle.
     pub fn core_access(&mut self, tile: TileId, kind: AccessKind, addr: Addr, t: Cycle) -> Cycle {
-        self.bus.observe_at(t, tile);
-        let done = self.core_access_inner(tile, kind, addr, t);
+        // Hot-walk gate: with no tap attached, the observe/stamp
+        // superstructure around the walk only feeds counters, so the
+        // tap discriminant is tested once per access here — not per
+        // emit — and an L1d hit (the overwhelming majority of
+        // accesses) completes on a lean path that mints no MemTxn.
+        // Anything else falls through to the full staged walk. The
+        // watchdog (on by default) observes both paths identically.
+        let done = if matches!(self.bus.tap, SinkTap::None) {
+            match self.hot_l1_hit(tile, kind, addr, t) {
+                Some(done) => done,
+                None => self.core_access_inner(tile, kind, addr, t),
+            }
+        } else {
+            self.bus.observe_at(t, tile);
+            self.core_access_inner(tile, kind, addr, t)
+        };
         if self.watchdog.enabled() {
-            if let Some(latency) = self.watchdog.observe_access(t, done) {
-                self.bus.emit(TxnEvent::StallDetected { latency });
-                if self.watchdog.snapshot().is_none() {
-                    let snap = self.diagnostic_snapshot(done, latency);
-                    self.watchdog.attach_snapshot(snap);
-                }
-            }
-            if self.watchdog.epoch_due(done) {
-                self.watchdog_epoch(done);
-            }
+            self.watchdog_observe(t, done);
         }
         done
+    }
+
+    /// The watchdog tail every completed core access runs: stall
+    /// detection plus the epoch sweep. Shared by the serial walk above
+    /// and the lane-replay path so both produce identical watchdog
+    /// counter histories.
+    fn watchdog_observe(&mut self, t: Cycle, done: Cycle) {
+        if let Some(latency) = self.watchdog.observe_access(t, done) {
+            self.bus.emit(TxnEvent::StallDetected { latency });
+            if self.watchdog.snapshot().is_none() {
+                let snap = self.diagnostic_snapshot(done, latency);
+                self.watchdog.attach_snapshot(snap);
+            }
+        }
+        if self.watchdog.epoch_due(done) {
+            self.watchdog_epoch(done);
+        }
+    }
+
+    /// Replay the accounting of one committed pure lane step's L1d hit:
+    /// exactly what the hot walk emits, re-run serially at the lane
+    /// epoch barrier in canonical step order.
+    pub(crate) fn lane_replay_hit(&mut self, t: Cycle, done: Cycle) {
+        self.bus.emit(TxnEvent::Hit(LevelId::L1d));
+        if self.watchdog.enabled() {
+            self.watchdog_observe(t, done);
+        }
     }
 
     /// The epoch invariant sweep: trrîp's one-callback-free-line-per-set
@@ -199,11 +231,60 @@ impl Hierarchy {
         txn.retire(done)
     }
 
+    /// The lean L1d-hit walk taken behind the hot-walk gate: same
+    /// timing, promotion, and accounting as the full walk's hit arm,
+    /// minus the transaction stamps and observer hooks that are inert
+    /// without a tap. Returns `None` — having changed nothing and
+    /// emitted nothing — for misses and for the kinds with their own
+    /// front-end (RMO, write-streams), which re-enter the full walk.
+    #[inline]
+    fn hot_l1_hit(
+        &mut self,
+        tile: TileId,
+        kind: AccessKind,
+        addr: Addr,
+        t: Cycle,
+    ) -> Option<Cycle> {
+        if matches!(kind, AccessKind::Rmo | AccessKind::WriteStream) {
+            return None;
+        }
+        let line = line_of(addr);
+        let l1_cfg = self.cfg.l1d;
+        let write = kind == AccessKind::Write;
+        let ready = {
+            let mut e = self.tiles[tile].l1d.lookup(line)?;
+            e.set_prefetched(false);
+            if write {
+                e.set_dirty(true);
+            }
+            e.ready_at()
+        };
+        self.bus.emit(TxnEvent::Hit(LevelId::L1d));
+        let mut done = (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(ready);
+        if write {
+            let needs_upgrade = self.tiles[tile]
+                .l2
+                .probe(line)
+                .map(|le| !le.exclusive())
+                .unwrap_or(false)
+                && !is_phantom(line);
+            if needs_upgrade {
+                done = self.upgrade(tile, line, done);
+                if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
+                    le.set_exclusive(true);
+                    le.set_dirty(true);
+                }
+            } else if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
+                le.set_dirty(true);
+            }
+        }
+        Some(done)
+    }
+
     fn core_access_inner(&mut self, tile: TileId, kind: AccessKind, addr: Addr, t: Cycle) -> Cycle {
         let line = line_of(addr);
-        let morph = self.registry.lookup(addr);
         if kind == AccessKind::Rmo {
-            if let Some((id, MorphLevel::Shared)) = morph {
+            if let Some((id, MorphLevel::Shared)) = self.registry.lookup(addr) {
                 return self.rmo_shared(tile, id, line, t);
             }
         }
@@ -221,32 +302,35 @@ impl Hierarchy {
         // entry, so the dirty update needs no second tag walk.
         txn.stamps.l1 = Some(t);
         let mut l1 = CachePort::new(&mut self.tiles[tile].l1d, LevelId::L1d);
-        if let Some(e) = l1.lookup_counted(line, &mut self.bus) {
-            let mut done = (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(e.ready_at);
-            e.prefetched = false;
+        if let Some(mut e) = l1.lookup_counted(line, &mut self.bus) {
+            let mut done = (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(e.ready_at());
+            e.set_prefetched(false);
             if write {
-                e.dirty = true;
+                e.set_dirty(true);
             }
             if write {
                 let needs_upgrade = self.tiles[tile]
                     .l2
                     .probe(line)
-                    .map(|le| !le.exclusive)
+                    .map(|le| !le.exclusive())
                     .unwrap_or(false)
                     && !is_phantom(line);
                 if needs_upgrade {
                     done = self.upgrade(tile, line, done);
-                    if let Some(le) = self.tiles[tile].l2.probe_mut(line) {
-                        le.exclusive = true;
-                        le.dirty = true;
+                    if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
+                        le.set_exclusive(true);
+                        le.set_dirty(true);
                     }
-                } else if let Some(le) = self.tiles[tile].l2.probe_mut(line) {
-                    le.dirty = true;
+                } else if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
+                    le.set_dirty(true);
                 }
             }
             return self.retire_profiled(txn, done);
         }
         let t1 = t + l1_cfg.tag_latency;
+        // Morph interposition only matters below the L1: deferring the
+        // registry scan here keeps it off the L1-hit path entirely.
+        let morph = self.registry.lookup(addr);
 
         // ---- L2 ----
         // Non-temporal hits do not promote (scans stay cold), so only the
@@ -255,12 +339,12 @@ impl Hierarchy {
         let mut l2 = CachePort::new(&mut self.tiles[tile].l2, LevelId::L2);
         let l2_probe = if stream {
             l2.probe_counted(line, &mut self.bus)
-                .map(|e| (e.ready_at, e.exclusive, e.prefetched))
+                .map(|e| (e.ready_at(), e.exclusive(), e.prefetched()))
         } else {
-            l2.lookup_counted(line, &mut self.bus).map(|e| {
-                let prefetched = e.prefetched;
-                e.prefetched = false;
-                (e.ready_at, e.exclusive, prefetched)
+            l2.lookup_counted(line, &mut self.bus).map(|mut e| {
+                let prefetched = e.prefetched();
+                e.set_prefetched(false);
+                (e.ready_at(), e.exclusive(), prefetched)
             })
         };
         let done = match l2_probe {
@@ -273,9 +357,9 @@ impl Hierarchy {
                     done = self.upgrade(tile, line, done);
                 }
                 if write {
-                    if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
-                        e.dirty = true;
-                        e.exclusive = true;
+                    if let Some(mut e) = self.tiles[tile].l2.probe_mut(line) {
+                        e.set_dirty(true);
+                        e.set_exclusive(true);
                     }
                 }
                 self.fill_l1(tile, line, write, done);
@@ -318,8 +402,8 @@ impl Hierarchy {
                 {
                     self.handle_l2_evict(tile, ev, t2);
                 }
-                if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
-                    e.exclusive = exclusive || write || is_phantom(line);
+                if let Some(mut e) = self.tiles[tile].l2.probe_mut(line) {
+                    e.set_exclusive(exclusive || write || is_phantom(line));
                 }
                 self.fill_l1(tile, line, write, done);
                 done
@@ -337,8 +421,8 @@ impl Hierarchy {
     pub(super) fn fill_l1(&mut self, tile: TileId, line: Addr, dirty: bool, ready: Cycle) {
         if self.tiles[tile].l1d.probe(line).is_some() {
             if dirty {
-                if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
-                    e.dirty = true;
+                if let Some(mut e) = self.tiles[tile].l1d.probe_mut(line) {
+                    e.set_dirty(true);
                 }
             }
             return;
@@ -359,8 +443,8 @@ impl Hierarchy {
     ) {
         if let Some(ev) = self.tiles[tile].l1d.insert(line, dirty, false, kind, ready) {
             if ev.dirty {
-                if let Some(e) = self.tiles[tile].l2.probe_mut(ev.line) {
-                    e.dirty = true;
+                if let Some(mut e) = self.tiles[tile].l2.probe_mut(ev.line) {
+                    e.set_dirty(true);
                 } else if !is_phantom(ev.line) {
                     self.writeback_to_llc(tile, ev.line, ready);
                 }
@@ -373,9 +457,9 @@ impl Hierarchy {
     /// hierarchy normally.
     fn core_write_stream(&mut self, tile: TileId, line: Addr, t: Cycle) -> Cycle {
         let l1_cfg = self.cfg.l1d;
-        if let Some(e) = self.tiles[tile].l1d.probe_mut(line) {
+        if let Some(mut e) = self.tiles[tile].l1d.probe_mut(line) {
+            e.set_dirty(true);
             self.bus.emit(TxnEvent::Hit(LevelId::L1d));
-            e.dirty = true;
             return t + l1_cfg.tag_latency + l1_cfg.data_latency;
         }
         self.bus.emit(TxnEvent::Miss(LevelId::L1d));
@@ -390,10 +474,10 @@ impl Hierarchy {
     pub fn demote_line(&mut self, tile: TileId, line: Addr) {
         let line = line_of(line);
         let dirty = self.merge_private_dirty(tile, line, PrivateScope::L1Only);
-        if let Some(e) = self.tiles[tile].l2.probe_mut(line) {
-            e.dirty |= dirty;
-            e.rrpv = 3;
-            e.lru_stamp = 0;
+        if let Some(mut e) = self.tiles[tile].l2.probe_mut(line) {
+            e.set_dirty(e.dirty() | dirty);
+            e.set_rrpv(3);
+            e.set_lru_stamp(0);
         }
     }
 }

@@ -14,7 +14,7 @@
 //! count an access, and the `no_alloc` suite can pin the whole
 //! port-plus-bus hot path as allocation-free.
 
-use tako_cache::array::{CacheArray, InsertKind, TagEntry};
+use tako_cache::array::{CacheArray, EntryMut, EntryRef, InsertKind};
 use tako_cpu::AccessKind;
 use tako_mem::addr::Addr;
 use tako_mem::dram::Dram;
@@ -205,13 +205,13 @@ impl<'a> CachePort<'a> {
     }
 
     /// Promote-on-hit tag lookup, charging this level's hit or miss on
-    /// `bus`. The returned entry is the promoted line; demand stages
-    /// update its state bits (dirty, prefetched, sharers) in place.
+    /// `bus`. The returned handle is the promoted line; demand stages
+    /// update its state bits (dirty, prefetched, sharers) through it.
     ///
     /// always-inlined: this is the per-access tag walk, and the walk
     /// bodies it replaced had it inlined at every use site.
     #[inline(always)]
-    pub fn lookup_counted(&mut self, line: Addr, bus: &mut AccountingBus) -> Option<&mut TagEntry> {
+    pub fn lookup_counted(&mut self, line: Addr, bus: &mut AccountingBus) -> Option<EntryMut<'_>> {
         match self.array.lookup(line) {
             Some(e) => {
                 bus.emit(TxnEvent::Hit(self.level));
@@ -227,7 +227,7 @@ impl<'a> CachePort<'a> {
     /// Non-promoting tag probe, charging this level's hit or miss on
     /// `bus` (the non-temporal shape: scans must stay cold).
     #[inline(always)]
-    pub fn probe_counted(&mut self, line: Addr, bus: &mut AccountingBus) -> Option<&TagEntry> {
+    pub fn probe_counted(&mut self, line: Addr, bus: &mut AccountingBus) -> Option<EntryRef<'_>> {
         match self.array.probe(line) {
             Some(e) => {
                 bus.emit(TxnEvent::Hit(self.level));
@@ -249,7 +249,7 @@ impl LevelPort for CachePort<'_> {
     fn serve(&mut self, line: Addr, t: Cycle, bus: &mut AccountingBus) -> Option<Cycle> {
         let data_latency = self.array.config().data_latency;
         self.probe_counted(line, bus)
-            .map(|e| t.max(e.ready_at) + data_latency)
+            .map(|e| t.max(e.ready_at()) + data_latency)
     }
 }
 

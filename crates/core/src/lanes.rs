@@ -1,0 +1,656 @@
+//! Deterministic per-tile simulation lanes.
+//!
+//! [`run_multicore_lanes`] is a drop-in sibling of
+//! [`tako_cpu::run_multicore`] that executes independent tiles' work in
+//! parallel *inside one simulation* while producing byte-identical
+//! results for any lane count — including the fully serial runner.
+//!
+//! ## How it stays exact
+//!
+//! The serial runner's only ordering rule is "always step the program
+//! whose core clock is furthest behind" (ties broken by lowest tile
+//! index), and a step is atomic. So any step whose start clock is
+//! strictly below every other unfinished tile's clock *would run next
+//! under some serial schedule* — and if the step is **pure** (every
+//! access an own-tile L1d hit, every write to a line the tile holds
+//! exclusive), it commutes with every other tile's pure steps: it
+//! touches only tile-private state (L1d/L2 replacement bits, the core
+//! clock, the program) plus functional data no other tile may observe
+//! under the coherence protocol.
+//!
+//! Each round therefore:
+//!
+//! 1. serially computes, per unfinished tile, a clock bound `B_i =
+//!    min over other unfinished tiles' clocks`;
+//! 2. runs all tiles as parallel **lanes** on the fork-join pool
+//!    ([`tako_sim::parallel::parallel_map`]): each lane speculatively
+//!    executes steps while `start < B_i`, journalling per-access
+//!    accounting and buffering functional writes. A step that turns out
+//!    impure is rolled back exactly (program snapshot, core/predictor
+//!    clone, cache-slot undo log, journal truncation) and the lane
+//!    parks;
+//! 3. at the **epoch barrier**, merges all committed steps in canonical
+//!    serial order — sorted by `(start clock, tile)` — and replays
+//!    their accounting against the real bus and watchdog, applies their
+//!    buffered writes, then executes *one* ordinary serial step for the
+//!    laggard tile (which consumes whatever impurity parked it).
+//!
+//! Because the replay order equals the serial runner's execution order
+//! and pure steps change nothing any other tile can see between
+//! barriers, the final machine state — statistics, watchdog counter
+//! history, cache contents, functional memory — is byte-identical to
+//! the serial run. The lane count changes only which OS threads execute
+//! the windows, never their content or merge order.
+//!
+//! Lanes require an un-tapped accounting bus (no trace or observer
+//! attached) and an inert fault plan; otherwise the runner silently
+//! falls back to the serial path, which is always correct.
+
+use tako_cache::array::SlotUndo;
+use tako_cpu::{
+    run_multicore, AccessKind, BranchPredictor, CoreEnv, CoreTiming, LaneProgram, MemSystem,
+    StepResult, ThreadProgram,
+};
+use tako_mem::addr::{is_phantom, line_of, Addr, AddrRange};
+use tako_mem::backing::PhysMem;
+use tako_sim::config::SystemConfig;
+use tako_sim::event::SinkTap;
+use tako_sim::parallel::parallel_map;
+use tako_sim::stats::{Counter, Stats};
+use tako_sim::{Cycle, TileId};
+
+use crate::hierarchy::Tile;
+use crate::system::TakoSystem;
+
+/// One journalled effect of a pure lane step, replayed at the barrier
+/// in canonical order so the bus and watchdog observe the exact counter
+/// history the serial runner would have produced.
+#[derive(Debug, Clone, Copy)]
+enum LaneOp {
+    /// A pure L1d-hit walk (the hot walk's accounting): emit
+    /// `Hit(L1d)` and run the watchdog observe/epoch tail.
+    Hit { t: Cycle, done: Cycle },
+    /// A core-side counter bump.
+    Acct { c: Counter, n: u64 },
+    /// A load-latency histogram sample.
+    LoadLat { lat: Cycle },
+    /// A buffered functional write (bit pattern + byte width).
+    Write { addr: Addr, bits: u64, width: u8 },
+    /// A statistics phase switch.
+    Phase { phase: usize },
+}
+
+/// Undo record for one cache-array mutation inside a speculative step.
+#[derive(Debug, Clone, Copy)]
+enum UndoRec {
+    L1 { undo: SlotUndo, stamp: u64 },
+    L2 { undo: SlotUndo, stamp: u64 },
+}
+
+/// A committed speculative step: its serial-order key plus the extent
+/// of its journal entries in the lane's op stream.
+#[derive(Debug, Clone, Copy)]
+struct StepRec {
+    start: Cycle,
+    ops_to: usize,
+}
+
+/// What one lane window produced.
+struct LaneOutcome {
+    /// Index into the runner's program array.
+    idx: usize,
+    tile: TileId,
+    steps: Vec<StepRec>,
+    ops: Vec<LaneOp>,
+    /// Program returned `Done` inside the window.
+    finished: bool,
+    finish_cycle: Cycle,
+}
+
+/// The per-lane [`MemSystem`]: applies pure L1d hits directly to the
+/// tile's own caches, journals their accounting, buffers functional
+/// writes, and *poisons* the current step the moment it does anything a
+/// pure step may not — after which every operation is an inert no-op
+/// (loads return zero) until the runner rolls the step back.
+struct LaneView<'a> {
+    tile: TileId,
+    tile_state: &'a mut Tile,
+    cfg: &'a SystemConfig,
+    mem: &'a PhysMem,
+    /// Buffered writes for store→load forwarding within the window.
+    writes: Vec<(Addr, u64, u8)>,
+    ops: Vec<LaneOp>,
+    undo: Vec<UndoRec>,
+    poisoned: bool,
+    /// Zeroed backing handed out if a program insists on raw
+    /// `data()` access mid-step (which poisons the step).
+    scratch_mem: PhysMem,
+    /// Throwaway registry for direct `stats()` access (also poisons).
+    scratch_stats: Stats,
+}
+
+impl<'a> LaneView<'a> {
+    fn new(
+        tile: TileId,
+        tile_state: &'a mut Tile,
+        cfg: &'a SystemConfig,
+        mem: &'a PhysMem,
+    ) -> Self {
+        LaneView {
+            tile,
+            tile_state,
+            cfg,
+            mem,
+            writes: Vec::new(),
+            ops: Vec::new(),
+            undo: Vec::new(),
+            poisoned: false,
+            scratch_mem: PhysMem::new(),
+            scratch_stats: Stats::new(),
+        }
+    }
+
+    /// Attempt `kind` on `addr` as a pure own-tile L1d hit, mirroring
+    /// the hot walk exactly (promotion, prefetched-clear, dirty bits)
+    /// but recording undo state first. `None` means the access is
+    /// impure; *nothing* has been mutated in that case.
+    fn pure_access(&mut self, kind: AccessKind, addr: Addr, t: Cycle) -> Option<Cycle> {
+        if !matches!(
+            kind,
+            AccessKind::Read | AccessKind::ReadStream | AccessKind::Write
+        ) {
+            return None;
+        }
+        let line = line_of(addr);
+        let write = kind == AccessKind::Write;
+        let ts = &mut *self.tile_state;
+        if write {
+            // Stricter than the hot walk: a pure write needs the L2 to
+            // hold the line exclusive (no upgrade, and no other tile
+            // can observe the line), and phantom lines stay serial.
+            let exclusive = ts.l2.probe(line).map(|le| le.exclusive()).unwrap_or(false);
+            if !exclusive || is_phantom(line) {
+                return None;
+            }
+        }
+        // Capture undo state before touching anything: `lookup` bumps
+        // the touch stamp even on a miss, so probe first.
+        let Some(l1_undo) = ts.l1d.slot_undo(line) else {
+            return None; // L1d miss: impure, untouched.
+        };
+        self.undo.push(UndoRec::L1 {
+            undo: l1_undo,
+            stamp: ts.l1d.touch_stamp(),
+        });
+        let ready = {
+            let mut e = ts.l1d.lookup(line)?;
+            e.set_prefetched(false);
+            if write {
+                e.set_dirty(true);
+            }
+            e.ready_at()
+        };
+        let l1_cfg = self.cfg.l1d;
+        let done = (t + l1_cfg.tag_latency + l1_cfg.data_latency).max(ready);
+        if write {
+            if let Some(l2_undo) = ts.l2.slot_undo(line) {
+                self.undo.push(UndoRec::L2 {
+                    undo: l2_undo,
+                    stamp: ts.l2.touch_stamp(),
+                });
+                if let Some(mut le) = ts.l2.probe_mut(line) {
+                    le.set_dirty(true);
+                }
+            }
+        }
+        Some(done)
+    }
+
+    /// Latest buffered write exactly matching `(addr, width)`, if any.
+    /// An overlapping but non-identical buffered write poisons the step
+    /// (mixed-width forwarding is not worth modelling speculatively).
+    fn forwarded(&mut self, addr: Addr, width: u8) -> Option<Option<u64>> {
+        for &(a, bits, w) in self.writes.iter().rev() {
+            if a == addr && w == width {
+                return Some(Some(bits));
+            }
+            let overlap = a < addr + u64::from(width) && addr < a + u64::from(w);
+            if overlap {
+                self.poisoned = true;
+                return Some(None);
+            }
+        }
+        None
+    }
+
+    fn read_bits(&mut self, addr: Addr, width: u8) -> u64 {
+        if self.poisoned {
+            return 0;
+        }
+        match self.forwarded(addr, width) {
+            Some(Some(bits)) => bits,
+            Some(None) => 0, // poisoned by a mixed-width overlap
+            None => match width {
+                4 => u64::from(self.mem.read_u32(addr)),
+                _ => self.mem.read_u64(addr),
+            },
+        }
+    }
+
+    fn buffer_write(&mut self, addr: Addr, bits: u64, width: u8) {
+        if self.poisoned {
+            return;
+        }
+        // A buffered functional write must target a line this tile
+        // holds exclusive: that is what makes it invisible to every
+        // other lane until the barrier applies it.
+        let line = line_of(addr);
+        let exclusive = self
+            .tile_state
+            .l2
+            .probe(line)
+            .map(|le| le.exclusive())
+            .unwrap_or(false);
+        if !exclusive || is_phantom(line) {
+            self.poisoned = true;
+            return;
+        }
+        self.writes.push((addr, bits, width));
+        self.ops.push(LaneOp::Write { addr, bits, width });
+    }
+
+    /// Roll the current step back to the marks captured at its start.
+    fn rollback(&mut self, undo_mark: usize, ops_mark: usize, writes_mark: usize) {
+        while self.undo.len() > undo_mark {
+            match self.undo.pop().unwrap() {
+                UndoRec::L1 { undo, stamp } => {
+                    self.tile_state.l1d.restore_slot(undo);
+                    self.tile_state.l1d.set_touch_stamp(stamp);
+                }
+                UndoRec::L2 { undo, stamp } => {
+                    self.tile_state.l2.restore_slot(undo);
+                    self.tile_state.l2.set_touch_stamp(stamp);
+                }
+            }
+        }
+        self.ops.truncate(ops_mark);
+        self.writes.truncate(writes_mark);
+        self.poisoned = false;
+    }
+}
+
+impl MemSystem for LaneView<'_> {
+    fn data(&mut self) -> &mut PhysMem {
+        // Raw functional access cannot be given a consistent view from
+        // inside a lane; poison the step and hand out zeroed scratch.
+        self.poisoned = true;
+        &mut self.scratch_mem
+    }
+
+    fn timed_access(&mut self, tile: TileId, kind: AccessKind, addr: Addr, now: Cycle) -> Cycle {
+        debug_assert_eq!(tile, self.tile);
+        if self.poisoned {
+            return now;
+        }
+        match self.pure_access(kind, addr, now) {
+            Some(done) => {
+                self.ops.push(LaneOp::Hit { t: now, done });
+                done
+            }
+            None => {
+                self.poisoned = true;
+                now
+            }
+        }
+    }
+
+    fn timed_flush(&mut self, _tile: TileId, _range: AddrRange, now: Cycle) -> Cycle {
+        self.poisoned = true;
+        now
+    }
+
+    fn stats(&mut self) -> &mut Stats {
+        self.poisoned = true;
+        &mut self.scratch_stats
+    }
+
+    fn timed_demote(&mut self, _tile: TileId, _addr: Addr, now: Cycle) -> Cycle {
+        self.poisoned = true;
+        now
+    }
+
+    fn take_interrupt(&mut self, _tile: TileId) -> Option<Cycle> {
+        // Whether an interrupt is pending is global state; deciding
+        // "none" speculatively would be wrong whenever one arrives
+        // before this step's serial position. Always park.
+        self.poisoned = true;
+        None
+    }
+
+    fn func_read_u64(&mut self, addr: Addr) -> u64 {
+        self.read_bits(addr, 8)
+    }
+    fn func_read_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_bits(addr, 8))
+    }
+    fn func_read_u32(&mut self, addr: Addr) -> u32 {
+        self.read_bits(addr, 4) as u32
+    }
+    fn func_write_u64(&mut self, addr: Addr, val: u64) {
+        self.buffer_write(addr, val, 8);
+    }
+    fn func_write_f64(&mut self, addr: Addr, val: f64) {
+        self.buffer_write(addr, val.to_bits(), 8);
+    }
+    fn func_write_u32(&mut self, addr: Addr, val: u32) {
+        self.buffer_write(addr, u64::from(val), 4);
+    }
+    fn func_write_bytes(&mut self, _addr: Addr, _bytes: &[u8]) {
+        self.poisoned = true;
+    }
+    fn func_add_f64(&mut self, _addr: Addr, _val: f64) {
+        self.poisoned = true;
+    }
+    fn func_fetch_add_u64(&mut self, _addr: Addr, _val: u64) -> u64 {
+        self.poisoned = true;
+        0
+    }
+
+    fn acct(&mut self, c: Counter, n: u64) {
+        if !self.poisoned {
+            self.ops.push(LaneOp::Acct { c, n });
+        }
+    }
+    fn acct_load_latency(&mut self, lat: Cycle) {
+        if !self.poisoned {
+            self.ops.push(LaneOp::LoadLat { lat });
+        }
+    }
+    fn set_phase(&mut self, phase: usize) {
+        if !self.poisoned {
+            self.ops.push(LaneOp::Phase { phase });
+        }
+    }
+}
+
+/// Everything one lane needs, moved into the fork-join pool.
+struct LaneItem<'a> {
+    idx: usize,
+    tile: TileId,
+    prog: &'a mut dyn LaneProgram,
+    core: &'a mut CoreTiming,
+    pred: &'a mut BranchPredictor,
+    tile_state: &'a mut Tile,
+    bound: Cycle,
+}
+
+/// Run one lane window: speculate pure steps while the start clock is
+/// strictly below `bound`, rolling back and parking at the first
+/// impurity.
+fn run_lane(item: LaneItem<'_>, cfg: &SystemConfig, mem: &PhysMem) -> LaneOutcome {
+    let LaneItem {
+        idx,
+        tile,
+        prog,
+        core,
+        pred,
+        tile_state,
+        bound,
+    } = item;
+    let mut view = LaneView::new(tile, tile_state, cfg, mem);
+    let mut steps = Vec::new();
+    let mut finished = false;
+    let mut finish_cycle = 0;
+    // Reused snapshots: `clone_from` keeps their allocations across
+    // steps.
+    let mut saved_core = core.clone();
+    let mut saved_pred = pred.clone();
+    loop {
+        let start = core.now();
+        if start >= bound {
+            break;
+        }
+        let saved_prog = prog.lane_save();
+        saved_core.clone_from(core);
+        saved_pred.clone_from(pred);
+        let undo_mark = view.undo.len();
+        let ops_mark = view.ops.len();
+        let writes_mark = view.writes.len();
+        let res = {
+            let mut env = CoreEnv::new(tile, core, pred, &mut view);
+            prog.step(&mut env)
+        };
+        if view.poisoned {
+            prog.lane_restore(saved_prog);
+            core.clone_from(&saved_core);
+            pred.clone_from(&saved_pred);
+            view.rollback(undo_mark, ops_mark, writes_mark);
+            break;
+        }
+        steps.push(StepRec {
+            start,
+            ops_to: view.ops.len(),
+        });
+        if res == StepResult::Done {
+            finished = true;
+            finish_cycle = core.drain();
+            break;
+        }
+    }
+    LaneOutcome {
+        idx,
+        tile,
+        steps,
+        ops: view.ops,
+        finished,
+        finish_cycle,
+    }
+}
+
+/// Serial-compatibility shim: drives a [`LaneProgram`] slice through the
+/// plain serial runner.
+struct SerialShim<'a>(&'a mut dyn LaneProgram);
+impl ThreadProgram for SerialShim<'_> {
+    fn step(&mut self, env: &mut CoreEnv<'_>) -> StepResult {
+        self.0.step(env)
+    }
+}
+
+fn run_serial(
+    programs: &mut [(TileId, &mut dyn LaneProgram)],
+    cores: &mut [CoreTiming],
+    predictors: &mut [BranchPredictor],
+    sys: &mut TakoSystem,
+    max_steps: u64,
+) -> Cycle {
+    let mut shims: Vec<(TileId, SerialShim<'_>)> = programs
+        .iter_mut()
+        .map(|(t, p)| (*t, SerialShim(&mut **p)))
+        .collect();
+    let mut serial: Vec<(TileId, &mut dyn ThreadProgram)> = shims
+        .iter_mut()
+        .map(|(t, s)| (*t, s as &mut dyn ThreadProgram))
+        .collect();
+    run_multicore(&mut serial, cores, predictors, sys, max_steps)
+}
+
+/// Drive thread programs to completion with deterministic per-tile
+/// parallel lanes. Semantics — final machine state, statistics,
+/// watchdog history, return value — are byte-identical to
+/// [`tako_cpu::run_multicore`] for every `lanes` value.
+///
+/// `lanes` is the fork-join pool width for the speculative windows;
+/// `lanes <= 1` still exercises the lane algorithm, just on one thread.
+/// Falls back to the serial runner whenever lane preconditions do not
+/// hold: a tap (trace/observer) on the bus, an armed fault plan, or
+/// programs sharing a tile.
+///
+/// # Panics
+///
+/// As [`tako_cpu::run_multicore`]: empty `programs`, mismatched slice
+/// lengths, or exceeding `max_steps` committed steps.
+pub fn run_multicore_lanes(
+    programs: &mut [(TileId, &mut dyn LaneProgram)],
+    cores: &mut [CoreTiming],
+    predictors: &mut [BranchPredictor],
+    sys: &mut TakoSystem,
+    max_steps: u64,
+    lanes: usize,
+) -> Cycle {
+    assert!(!programs.is_empty(), "need at least one program");
+    assert_eq!(programs.len(), cores.len());
+    assert_eq!(programs.len(), predictors.len());
+    let n = programs.len();
+    // Preconditions for exact replay: no tap (the hot-walk accounting
+    // the journal mirrors is only taken with an un-tapped bus), inert
+    // faults (fault arming is walk-order-sensitive), and one program
+    // per tile (lanes own their tile island exclusively).
+    let hier = sys.hierarchy();
+    let tap_free = matches!(hier.bus.tap, SinkTap::None);
+    let faults_ok = hier.bus.faults_inert();
+    let tiles_ok = {
+        let mut seen = vec![false; hier.cfg.tiles];
+        programs
+            .iter()
+            .all(|&(t, _)| t < seen.len() && !std::mem::replace(&mut seen[t], true))
+    };
+    if !(tap_free && faults_ok && tiles_ok) {
+        return run_serial(programs, cores, predictors, sys, max_steps);
+    }
+    // Results are identical for any pool width (the barrier merge is
+    // canonical), so never oversubscribe the host: extra threads only
+    // add scheduler churn, never coverage.
+    let lanes = lanes.min(tako_sim::parallel::default_jobs());
+
+    let mut done = vec![false; n];
+    let mut finish = vec![0 as Cycle; n];
+    let mut remaining = n;
+    let mut steps_used = 0u64;
+    let step_budget = |steps_used: &mut u64, k: u64| {
+        *steps_used += k;
+        assert!(
+            *steps_used <= max_steps,
+            "program exceeded {max_steps} steps; runaway loop?"
+        );
+    };
+    while remaining > 0 {
+        if remaining == 1 {
+            // One program left: no other clock to order against, so the
+            // rest of the run is the plain serial tail.
+            let i = (0..n).find(|&i| !done[i]).unwrap();
+            let (tile, ref mut prog) = programs[i];
+            loop {
+                step_budget(&mut steps_used, 1);
+                let mut env = CoreEnv::new(tile, &mut cores[i], &mut predictors[i], sys);
+                if prog.step(&mut env) == StepResult::Done {
+                    finish[i] = cores[i].drain();
+                    break;
+                }
+            }
+            break;
+        }
+
+        // --- Round prologue (serial): per-tile speculation bounds. ---
+        // Two smallest clocks among unfinished programs give every tile
+        // its bound in O(n).
+        let mut min1 = Cycle::MAX;
+        let mut min2 = Cycle::MAX;
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            let now = cores[i].now();
+            if now < min1 {
+                min2 = min1;
+                min1 = now;
+            } else if now < min2 {
+                min2 = now;
+            }
+        }
+
+        // --- Parallel lane windows. ---
+        let outcomes = {
+            let (tiles_mut, mem, cfg) = sys.lane_split();
+            let mut tile_slots: Vec<Option<&mut Tile>> = tiles_mut.iter_mut().map(Some).collect();
+            let mut core_slots: Vec<Option<&mut CoreTiming>> = cores.iter_mut().map(Some).collect();
+            let mut pred_slots: Vec<Option<&mut BranchPredictor>> =
+                predictors.iter_mut().map(Some).collect();
+            let mut items: Vec<LaneItem<'_>> = Vec::with_capacity(remaining);
+            for (i, (tile, prog)) in programs.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                let now = core_slots[i].as_ref().map(|c| c.now()).unwrap();
+                let bound = if now == min1 { min2 } else { min1 };
+                items.push(LaneItem {
+                    idx: i,
+                    tile: *tile,
+                    prog: &mut **prog,
+                    core: core_slots[i].take().unwrap(),
+                    pred: pred_slots[i].take().unwrap(),
+                    tile_state: tile_slots[*tile].take().unwrap(),
+                    bound,
+                });
+            }
+            parallel_map(lanes, items, |_, item| run_lane(item, cfg, mem))
+        };
+
+        // --- Epoch barrier: canonical replay. ---
+        // Merge committed steps in serial order: (start clock, tile).
+        let mut order: Vec<(Cycle, TileId, usize, usize)> = Vec::new();
+        for (o_idx, o) in outcomes.iter().enumerate() {
+            for (s_idx, s) in o.steps.iter().enumerate() {
+                order.push((s.start, o.tile, o_idx, s_idx));
+            }
+        }
+        order.sort_unstable_by_key(|&(start, tile, _, _)| (start, tile));
+        step_budget(&mut steps_used, order.len() as u64);
+        let hier = sys.hierarchy_mut();
+        for &(_, _, o_idx, s_idx) in &order {
+            let o = &outcomes[o_idx];
+            let from = if s_idx == 0 {
+                0
+            } else {
+                o.steps[s_idx - 1].ops_to
+            };
+            for op in &o.ops[from..o.steps[s_idx].ops_to] {
+                match *op {
+                    LaneOp::Hit { t, done } => hier.lane_replay_hit(t, done),
+                    LaneOp::Acct { c, n } => hier.bus.stats.add(c, n),
+                    LaneOp::LoadLat { lat } => hier.bus.stats.load_latency.record(lat),
+                    LaneOp::Write { addr, bits, width } => match width {
+                        4 => hier.mem.write_u32(addr, bits as u32),
+                        _ => hier.mem.write_u64(addr, bits),
+                    },
+                    LaneOp::Phase { phase } => hier.bus.stats.set_phase(phase),
+                }
+            }
+        }
+        for o in &outcomes {
+            if o.finished {
+                done[o.idx] = true;
+                finish[o.idx] = o.finish_cycle;
+                remaining -= 1;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+
+        // --- One serial step for the laggard (guarantees progress and
+        // consumes whatever impurity parked its lane). ---
+        let i = (0..n)
+            .filter(|&i| !done[i])
+            .min_by_key(|&i| cores[i].now())
+            .unwrap();
+        step_budget(&mut steps_used, 1);
+        let (tile, ref mut prog) = programs[i];
+        let mut env = CoreEnv::new(tile, &mut cores[i], &mut predictors[i], sys);
+        if prog.step(&mut env) == StepResult::Done {
+            done[i] = true;
+            finish[i] = cores[i].drain();
+            remaining -= 1;
+        }
+    }
+    finish.into_iter().max().unwrap_or(0)
+}

@@ -72,6 +72,7 @@ pub mod ctx;
 pub mod engine;
 pub mod error;
 pub mod hierarchy;
+pub mod lanes;
 pub mod morph;
 pub mod overhead;
 pub mod system;
@@ -79,6 +80,7 @@ pub mod watchdog;
 
 pub use ctx::EngineCtx;
 pub use error::TakoError;
+pub use lanes::run_multicore_lanes;
 pub use morph::{CallbackKind, Morph, MorphHandle, MorphId, MorphLevel};
 pub use system::TakoSystem;
 pub use watchdog::{DiagnosticSnapshot, Watchdog};

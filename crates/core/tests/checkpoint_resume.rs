@@ -184,6 +184,17 @@ fn restore_rejects_corruption_and_config_skew() {
         other => panic!("corrupt snapshot accepted: {other:?}"),
     }
 
+    // A snapshot stamped with the previous format version (2 — the
+    // pre-SoA tag-array layout) → rejected on the envelope version
+    // before any payload decoding is attempted.
+    let mut stale = snap.clone();
+    stale[8..12].copy_from_slice(&2u32.to_le_bytes());
+    let (mut fresh2, _) = build(&cfg);
+    match fresh2.restore_bytes(&stale) {
+        Err(TakoError::BadSnapshot(SnapError::BadVersion { found: 2 })) => {}
+        other => panic!("stale-version snapshot accepted: {other:?}"),
+    }
+
     // Same snapshot into a differently parameterized system → rejected
     // on the config fingerprint before any state is touched.
     let mut skewed = cfg.clone();

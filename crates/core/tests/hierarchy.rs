@@ -504,7 +504,7 @@ fn demote_makes_a_line_the_preferred_victim() {
     // a's L1 copy is gone; its L2 entry is at distant priority.
     assert!(s.hierarchy().tiles[0].l1d.probe(a).is_none());
     let e = s.hierarchy().tiles[0].l2.probe(a).expect("still in L2");
-    assert_eq!(e.rrpv, 3);
+    assert_eq!(e.get().rrpv, 3);
     // Fill the set: the demoted line leaves before the fresh one.
     let mut t = 2_000;
     for k in 2..10u64 {

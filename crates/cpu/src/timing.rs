@@ -8,18 +8,20 @@
 //! in-order core ([`tako_sim::config::CoreKind::InOrder`]) stalls on
 //! every load.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use tako_sim::config::{CoreConfig, CoreKind};
 use tako_sim::Cycle;
 
 /// The timing state of one core.
+///
+/// The in-flight window is an unordered `Vec` rather than a heap: it
+/// holds at most `mlp_window` (single-digit) completion cycles, and at
+/// that size a linear min/sweep beats heap maintenance on every load —
+/// this is the innermost per-access loop of the whole simulator.
 #[derive(Debug, Clone)]
 pub struct CoreTiming {
     cfg: CoreConfig,
     now: Cycle,
-    outstanding: BinaryHeap<Reverse<Cycle>>,
+    outstanding: Vec<Cycle>,
     last_load_done: Cycle,
     instr_acc: u64,
     instrs_retired: u64,
@@ -28,10 +30,14 @@ pub struct CoreTiming {
 impl CoreTiming {
     /// A core at cycle 0.
     pub fn new(cfg: CoreConfig) -> Self {
+        let window = match cfg.kind {
+            CoreKind::InOrder => 1,
+            CoreKind::OutOfOrder => cfg.mlp_window.max(1) as usize,
+        };
         CoreTiming {
             cfg,
             now: 0,
-            outstanding: BinaryHeap::new(),
+            outstanding: Vec::with_capacity(window),
             last_load_done: 0,
             instr_acc: 0,
             instrs_retired: 0,
@@ -65,12 +71,15 @@ impl CoreTiming {
         }
     }
 
+    #[inline]
     fn pop_completed(&mut self) {
-        while let Some(&Reverse(c)) = self.outstanding.peek() {
-            if c <= self.now {
-                self.outstanding.pop();
+        let now = self.now;
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            if self.outstanding[i] <= now {
+                self.outstanding.swap_remove(i);
             } else {
-                break;
+                i += 1;
             }
         }
     }
@@ -105,7 +114,15 @@ impl CoreTiming {
         }
         self.pop_completed();
         if self.outstanding.len() >= self.window() {
-            if let Some(Reverse(c)) = self.outstanding.pop() {
+            // Window full: wait for the earliest in-flight load.
+            if let Some(i) = self
+                .outstanding
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+            {
+                let c = self.outstanding.swap_remove(i);
                 self.now = self.now.max(c);
             }
             self.pop_completed();
@@ -125,7 +142,7 @@ impl CoreTiming {
                 self.now = self.now.max(done);
             }
             CoreKind::OutOfOrder => {
-                self.outstanding.push(Reverse(done));
+                self.outstanding.push(done);
             }
         }
         done.saturating_sub(issue)
@@ -148,12 +165,7 @@ impl CoreTiming {
 
     /// Drain the window: the cycle at which the core is fully idle.
     pub fn drain(&mut self) -> Cycle {
-        let last = self
-            .outstanding
-            .iter()
-            .map(|&Reverse(c)| c)
-            .max()
-            .unwrap_or(0);
+        let last = self.outstanding.iter().copied().max().unwrap_or(0);
         self.now = self.now.max(last);
         self.outstanding.clear();
         self.now

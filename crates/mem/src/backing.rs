@@ -6,26 +6,67 @@
 //! phantom addresses can be stored — phantom data functionally lives here
 //! while the *timing* model keeps it cache-only (the hierarchy never
 //! charges DRAM time or energy for phantom lines).
+//!
+//! Storage is data-oriented: the two address regions the allocator
+//! actually hands out — the low/real heap growing up from zero and the
+//! phantom region growing up from [`PHANTOM_BIT`] — live in dense
+//! `Vec<Option<Box<Page>>>` tables indexed by page number, so the
+//! functional read under every simulated access is an index + deref
+//! instead of a hash. Addresses outside both dense windows (stress tests
+//! poke near `u64::MAX`) fall back to a `HashMap`.
 
 use std::collections::HashMap;
 
-use crate::addr::Addr;
+use crate::addr::{Addr, PHANTOM_BIT};
 
 /// Bytes per backing page.
 pub const PAGE_BYTES: u64 = 4096;
 
+type Page = Box<[u8; PAGE_BYTES as usize]>;
+
+/// First page index of the phantom region.
+const PHANTOM_PAGE: u64 = PHANTOM_BIT / PAGE_BYTES;
+
+/// Dense-table width in pages (16 GiB of address space per region).
+/// The tables grow only to the highest page actually touched, and the
+/// bump allocator hands out addresses contiguously from the region base,
+/// so table length tracks real footprint, not address magnitude.
+const DENSE_PAGES: u64 = 1 << 22;
+
+/// Where a page index lives.
+enum Slot {
+    /// Dense low/real table, at this offset.
+    Real(usize),
+    /// Dense phantom table, at this offset.
+    Phantom(usize),
+    /// Outside both dense windows: HashMap fallback.
+    Far,
+}
+
+#[inline]
+fn slot_of(page: u64) -> Slot {
+    if page < DENSE_PAGES {
+        Slot::Real(page as usize)
+    } else if page >= PHANTOM_PAGE && page - PHANTOM_PAGE < DENSE_PAGES {
+        Slot::Phantom((page - PHANTOM_PAGE) as usize)
+    } else {
+        Slot::Far
+    }
+}
+
 /// A sparse byte-addressable memory.
 #[derive(Debug, Clone, Default)]
 pub struct PhysMem {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    real: Vec<Option<Page>>,
+    phantom: Vec<Option<Page>>,
+    far: HashMap<u64, Page>,
+    resident: usize,
 }
 
 impl PhysMem {
     /// An empty memory; all addresses read as zero.
     pub fn new() -> Self {
-        PhysMem {
-            pages: HashMap::new(),
-        }
+        PhysMem::default()
     }
 
     #[inline]
@@ -33,18 +74,50 @@ impl PhysMem {
         (addr / PAGE_BYTES, (addr % PAGE_BYTES) as usize)
     }
 
+    /// The page holding `page` index, if materialized.
+    #[inline]
+    fn page(&self, page: u64) -> Option<&Page> {
+        match slot_of(page) {
+            Slot::Real(i) => self.real.get(i)?.as_ref(),
+            Slot::Phantom(i) => self.phantom.get(i)?.as_ref(),
+            Slot::Far => self.far.get(&page),
+        }
+    }
+
+    /// The page holding `page` index, materializing it zero-filled.
+    fn page_mut(&mut self, page: u64) -> &mut Page {
+        let (table, i) = match slot_of(page) {
+            Slot::Real(i) => (&mut self.real, i),
+            Slot::Phantom(i) => (&mut self.phantom, i),
+            Slot::Far => {
+                let resident = &mut self.resident;
+                return self.far.entry(page).or_insert_with(|| {
+                    *resident += 1;
+                    Box::new([0; PAGE_BYTES as usize])
+                });
+            }
+        };
+        if table.len() <= i {
+            table.resize_with(i + 1, || None);
+        }
+        let slot = &mut table[i];
+        if slot.is_none() {
+            *slot = Some(Box::new([0; PAGE_BYTES as usize]));
+            self.resident += 1;
+        }
+        slot.as_mut().unwrap()
+    }
+
     /// Read one byte.
     pub fn read_u8(&self, addr: Addr) -> u8 {
         let (page, off) = Self::split(addr);
-        self.pages.get(&page).map_or(0, |p| p[off])
+        self.page(page).map_or(0, |p| p[off])
     }
 
     /// Write one byte.
     pub fn write_u8(&mut self, addr: Addr, val: u8) {
         let (page, off) = Self::split(addr);
-        self.pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]))[off] = val;
+        self.page_mut(page)[off] = val;
     }
 
     /// Read `buf.len()` bytes starting at `addr`.
@@ -54,7 +127,7 @@ impl PhysMem {
         while done < buf.len() {
             let (page, off) = Self::split(cur);
             let chunk = (PAGE_BYTES as usize - off).min(buf.len() - done);
-            match self.pages.get(&page) {
+            match self.page(page) {
                 Some(p) => buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]),
                 None => buf[done..done + chunk].fill(0),
             }
@@ -70,10 +143,7 @@ impl PhysMem {
         while done < buf.len() {
             let (page, off) = Self::split(cur);
             let chunk = (PAGE_BYTES as usize - off).min(buf.len() - done);
-            let p = self
-                .pages
-                .entry(page)
-                .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+            let p = self.page_mut(page);
             p[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
             done += chunk;
             cur += chunk as u64;
@@ -81,15 +151,31 @@ impl PhysMem {
     }
 
     /// Read a little-endian `u64`.
+    #[inline]
     pub fn read_u64(&self, addr: Addr) -> u64 {
-        let mut b = [0u8; 8];
-        self.read_bytes(addr, &mut b);
-        u64::from_le_bytes(b)
+        let (page, off) = Self::split(addr);
+        if off <= PAGE_BYTES as usize - 8 {
+            // Hot path: the whole word sits inside one page.
+            match self.page(page) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().unwrap()),
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            self.read_bytes(addr, &mut b);
+            u64::from_le_bytes(b)
+        }
     }
 
     /// Write a little-endian `u64`.
+    #[inline]
     pub fn write_u64(&mut self, addr: Addr, val: u64) {
-        self.write_bytes(addr, &val.to_le_bytes());
+        let (page, off) = Self::split(addr);
+        if off <= PAGE_BYTES as usize - 8 {
+            self.page_mut(page)[off..off + 8].copy_from_slice(&val.to_le_bytes());
+        } else {
+            self.write_bytes(addr, &val.to_le_bytes());
+        }
     }
 
     /// Read a little-endian `u32`.
@@ -132,21 +218,50 @@ impl PhysMem {
     /// Number of pages materialized so far (memory-footprint metric used
     /// by the pre-compute baseline comparison in the decompression study).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
+    }
+
+    /// All materialized page indices, sorted (the canonical snapshot
+    /// order).
+    fn sorted_indices(&self) -> Vec<u64> {
+        let mut indices: Vec<u64> = Vec::with_capacity(self.resident);
+        indices.extend(
+            self.real
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_some())
+                .map(|(i, _)| i as u64),
+        );
+        indices.extend(
+            self.phantom
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_some())
+                .map(|(i, _)| PHANTOM_PAGE + i as u64),
+        );
+        indices.extend(self.far.keys().copied());
+        indices.sort_unstable();
+        indices
+    }
+
+    fn clear(&mut self) {
+        self.real.clear();
+        self.phantom.clear();
+        self.far.clear();
+        self.resident = 0;
     }
 }
 
 impl tako_sim::checkpoint::Snapshot for PhysMem {
     fn save(&self, w: &mut tako_sim::checkpoint::SnapWriter) {
         w.section("physmem");
-        // Canonical order: pages sorted by index (HashMap iteration order
-        // is not deterministic).
-        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
-        indices.sort_unstable();
+        // Canonical order: pages sorted by index — the encoding predates
+        // the dense tables and must stay byte-identical.
+        let indices = self.sorted_indices();
         w.put_len(indices.len());
         for idx in indices {
             w.put_u64(idx);
-            w.put_bytes(&self.pages[&idx][..]);
+            w.put_bytes(&self.page(idx).expect("listed page")[..]);
         }
     }
 
@@ -157,14 +272,14 @@ impl tako_sim::checkpoint::Snapshot for PhysMem {
         use tako_sim::checkpoint::SnapError;
         r.section("physmem")?;
         let n = r.get_len()?;
-        self.pages.clear();
+        self.clear();
         for _ in 0..n {
             let idx = r.get_u64()?;
             let bytes = r.get_bytes()?;
-            let page: [u8; PAGE_BYTES as usize] = bytes.try_into().map_err(|_| {
+            let page: &[u8; PAGE_BYTES as usize] = bytes.try_into().map_err(|_| {
                 SnapError::StateMismatch(format!("backing page {idx} is not {PAGE_BYTES} bytes"))
             })?;
-            self.pages.insert(idx, Box::new(page));
+            self.page_mut(idx).copy_from_slice(page);
         }
         Ok(())
     }
@@ -217,6 +332,21 @@ mod tests {
         assert_eq!(mem.read_f64(0), 4.0);
     }
 
+    #[test]
+    fn every_region_stores_and_counts() {
+        let mut mem = PhysMem::new();
+        let real = crate::addr::REAL_BASE + 17;
+        let phantom = PHANTOM_BIT + 5 * PAGE_BYTES + 3;
+        let far = u64::MAX - 100; // beyond both dense windows
+        mem.write_u64(real, 1);
+        mem.write_u64(phantom, 2);
+        mem.write_u64(far, 3);
+        assert_eq!(mem.read_u64(real), 1);
+        assert_eq!(mem.read_u64(phantom), 2);
+        assert_eq!(mem.read_u64(far), 3);
+        assert_eq!(mem.resident_pages(), 3);
+    }
+
     // Deterministic randomized tests (the in-tree Rng replaces proptest,
     // which the offline build cannot fetch).
 
@@ -243,12 +373,17 @@ mod tests {
         for _ in 0..64 {
             mem.write_u64(rng.below(1_000_000), rng.next_u64());
         }
+        // Cover the phantom table and the far fallback too.
+        mem.write_u64(PHANTOM_BIT + 123, 0xFEED);
+        mem.write_u64(u64::MAX - 77, 0xFA5);
         let snap = encode(&mem);
         let mut back = PhysMem::new();
         back.write_u64(0xDEAD, 1); // stale page, must be dropped
         decode(&snap, &mut back).unwrap();
         assert_eq!(back.resident_pages(), mem.resident_pages());
         assert_eq!(back.read_u64(0xDEAD), mem.read_u64(0xDEAD));
+        assert_eq!(back.read_u64(PHANTOM_BIT + 123), 0xFEED);
+        assert_eq!(back.read_u64(u64::MAX - 77), 0xFA5);
         let mut check = Rng::new(0x5AB2);
         for _ in 0..64 {
             let addr = check.below(1_000_000);
@@ -256,7 +391,7 @@ mod tests {
             assert_eq!(back.read_u64(addr), mem.read_u64(addr));
         }
         // Two encodes of the same memory are byte-identical (canonical
-        // page order despite HashMap storage).
+        // page order regardless of which table holds a page).
         assert_eq!(snap, encode(&back));
     }
 

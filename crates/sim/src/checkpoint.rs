@@ -55,7 +55,10 @@ pub const SNAP_MAGIC: [u8; 8] = *b"TAKOSNP\0";
 /// Snapshot format version; bump on any serialized-layout change.
 /// Version 2: the hierarchy section gained the optional observability
 /// observer (event ring, interval metrics, stage profile).
-pub const SNAP_VERSION: u32 = 2;
+/// Version 3: cache tag arrays serialize their structure-of-arrays
+/// storage field-by-field (per-way rrpv/lru/flag planes) instead of the
+/// old per-line record stream.
+pub const SNAP_VERSION: u32 = 3;
 
 /// Errors surfaced while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -110,9 +110,163 @@ fn bench_rng(c: &mut Criterion) {
     g.finish();
 }
 
+/// The pre-refactor array-of-structs tag layout, kept here as the
+/// baseline for the SoA comparison: one 32-byte record per line, so a
+/// set scan strides across tags, flags, and replacement state together
+/// and an aging sweep rewrites whole records.
+mod aos {
+    #[derive(Clone, Copy, Default)]
+    pub struct Entry {
+        pub tag: u64,
+        pub valid: bool,
+        pub dirty: bool,
+        pub rrpv: u8,
+        pub lru: u64,
+    }
+
+    pub struct AosArray {
+        pub sets: usize,
+        pub ways: usize,
+        entries: Vec<Entry>,
+        stamp: u64,
+    }
+
+    impl AosArray {
+        pub fn new(sets: usize, ways: usize) -> Self {
+            AosArray {
+                sets,
+                ways,
+                entries: vec![Entry::default(); sets * ways],
+                stamp: 0,
+            }
+        }
+
+        fn set_of(&self, line: u64) -> usize {
+            ((line / 64) as usize) & (self.sets - 1)
+        }
+
+        pub fn lookup(&mut self, line: u64) -> bool {
+            let s = self.set_of(line);
+            self.stamp += 1;
+            let base = s * self.ways;
+            for e in &mut self.entries[base..base + self.ways] {
+                if e.valid && e.tag == line {
+                    e.rrpv = 0;
+                    e.lru = self.stamp;
+                    return true;
+                }
+            }
+            false
+        }
+
+        pub fn insert(&mut self, line: u64, dirty: bool) {
+            let s = self.set_of(line);
+            self.stamp += 1;
+            let base = s * self.ways;
+            loop {
+                let mut victim = None;
+                for (w, e) in self.entries[base..base + self.ways].iter().enumerate() {
+                    if !e.valid || e.rrpv >= 3 {
+                        victim = Some(w);
+                        break;
+                    }
+                }
+                if let Some(w) = victim {
+                    self.entries[base + w] = Entry {
+                        tag: line,
+                        valid: true,
+                        dirty,
+                        rrpv: 2,
+                        lru: self.stamp,
+                    };
+                    return;
+                }
+                for e in &mut self.entries[base..base + self.ways] {
+                    e.rrpv += 1;
+                }
+            }
+        }
+    }
+}
+
+/// SoA vs AoS set scans, the data-layout change behind the hot-path
+/// rework: same replacement discipline, same working sets, so the
+/// delta is purely how the tag/flag/replacement planes sit in memory.
+fn bench_soa_vs_aos(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soa_vs_aos");
+    let cfg = CacheConfig::l2_default();
+    let sets = cfg.size_bytes / 64 / cfg.ways;
+    // Hit scans: every probe finds its line after a full set walk.
+    g.bench_function("soa_lookup_hit", |b| {
+        let mut a = CacheArray::new(cfg);
+        for k in 0..(sets * cfg.ways) as u64 {
+            a.insert(k * 64, false, false, InsertKind::Demand, 0);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % (sets * cfg.ways) as u64;
+            black_box(a.lookup(black_box(k * 64)).is_some())
+        });
+    });
+    g.bench_function("aos_lookup_hit", |b| {
+        let mut a = aos::AosArray::new(sets, cfg.ways);
+        for k in 0..(sets * cfg.ways) as u64 {
+            a.insert(k * 64, false);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % (sets * cfg.ways) as u64;
+            black_box(a.lookup(black_box(k * 64)))
+        });
+    });
+    // Miss scans: full set walk with no match (the victim-probe shape).
+    g.bench_function("soa_lookup_miss", |b| {
+        let mut a = CacheArray::new(cfg);
+        for k in 0..(sets * cfg.ways) as u64 {
+            a.insert(k * 64, false, false, InsertKind::Demand, 0);
+        }
+        let mut k = 1u64 << 40;
+        b.iter(|| {
+            k += 64;
+            black_box(a.lookup(black_box(k)).is_some())
+        });
+    });
+    g.bench_function("aos_lookup_miss", |b| {
+        let mut a = aos::AosArray::new(sets, cfg.ways);
+        for k in 0..(sets * cfg.ways) as u64 {
+            a.insert(k * 64, false);
+        }
+        let mut k = 1u64 << 40;
+        b.iter(|| {
+            k += 64;
+            black_box(a.lookup(black_box(k)))
+        });
+    });
+    // Insert/evict churn: victim selection plus the aging sweep.
+    g.bench_function("soa_insert_evict", |b| {
+        let mut a = CacheArray::new(cfg);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(a.insert(k * 64, k.is_multiple_of(3), false, InsertKind::Demand, 0))
+        });
+    });
+    g.bench_function("aos_insert_evict", |b| {
+        let mut a = aos::AosArray::new(sets, cfg.ways);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            a.insert(k * 64, k.is_multiple_of(3));
+            black_box(&a)
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_cache_array,
+    bench_soa_vs_aos,
     bench_dataflow,
     bench_engine_scheduler,
     bench_dram,
