@@ -1,0 +1,131 @@
+//! Integration tests of the `protocol_check` binary: the sweep report
+//! is byte-identical at any `--jobs` count, the shrunk mutant
+//! counterexample is identical too, and the committed regression
+//! counterexamples still reproduce their violations.
+
+use std::path::Path;
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_protocol_check"))
+        .args(args)
+        .output()
+        .expect("spawn protocol_check")
+}
+
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let a = run(&["--depth", "1", "--jobs", "1"]);
+    let b = run(&["--depth", "1", "--jobs", "4"]);
+    assert!(a.status.success(), "jobs=1 run failed: {a:?}");
+    assert!(b.status.success(), "jobs=4 run failed: {b:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "report must not depend on worker count"
+    );
+}
+
+#[test]
+fn depth_one_sweep_is_clean_for_every_family() {
+    let out = run(&["--depth", "1", "--jobs", "4"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "sweep failed:\n{stdout}");
+    assert!(stdout.contains("protocol_check: all clean"), "{stdout}");
+    for family in ["decompress", "soa", "nvm", "trrip"] {
+        assert!(
+            stdout.contains(&format!("[{family}] clean")),
+            "missing {family}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn mutant_counterexample_is_deterministic_across_job_counts() {
+    let dir = std::env::temp_dir().join(format!("tako-protocol-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cex_a = dir.join("a.takocex");
+    let cex_b = dir.join("b.takocex");
+    let a = run(&[
+        "--mutant",
+        "--depth",
+        "2",
+        "--jobs",
+        "1",
+        "--write-cex",
+        cex_a.to_str().expect("utf8 path"),
+    ]);
+    let b = run(&[
+        "--mutant",
+        "--depth",
+        "2",
+        "--jobs",
+        "4",
+        "--write-cex",
+        cex_b.to_str().expect("utf8 path"),
+    ]);
+    assert!(a.status.success(), "mutant jobs=1 not caught: {a:?}");
+    assert!(b.status.success(), "mutant jobs=4 not caught: {b:?}");
+    let text_a = std::fs::read_to_string(&cex_a).expect("cex a");
+    let text_b = std::fs::read_to_string(&cex_b).expect("cex b");
+    assert_eq!(
+        text_a, text_b,
+        "shrunk witness must not depend on worker count"
+    );
+    assert!(text_a.starts_with("takocex v1\n"), "{text_a}");
+    // Shrunk to at most 8 steps (the acceptance bound; in practice 1).
+    let steps = text_a.lines().filter(|l| l.starts_with("step:")).count();
+    assert!((1..=8).contains(&steps), "unexpected witness size {steps}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_regressions_still_reproduce() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("regressions");
+    let mut found = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("regressions directory")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().and_then(|e| e.to_str()) != Some("takocex") {
+            continue;
+        }
+        found += 1;
+        let out = run(&["--replay", path.to_str().expect("utf8 path")]);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "{} no longer reproduces:\n{stdout}",
+            path.display()
+        );
+        assert!(stdout.contains("violation reproduced"), "{stdout}");
+    }
+    assert!(
+        found >= 2,
+        "expected committed counterexamples, found {found}"
+    );
+}
+
+#[test]
+fn replay_of_a_clean_trace_exits_nonzero() {
+    let dir = std::env::temp_dir().join(format!("tako-protocol-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // A recorded violation with no fault plan armed: nothing illegal
+    // happens on replay, so the file must be reported as stale.
+    let stale = dir.join("stale.takocex");
+    std::fs::write(
+        &stale,
+        "takocex v1\nfamily: trrip\ntiles: 2\nfaults: none\nkind: safety\n\
+         message: fabricated\nstep: t0 R 0 ;\nend\n",
+    )
+    .expect("write stale cex");
+    let out = run(&["--replay", stale.to_str().expect("utf8 path")]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale replay must fail: {out:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

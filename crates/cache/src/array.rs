@@ -229,6 +229,12 @@ impl CacheArray {
         &self.cfg
     }
 
+    /// The set `line` maps to in this array (diagnostics: watchdog
+    /// snapshots and the protocol checker name blocked sets with it).
+    pub fn set_index(&self, line: Addr) -> usize {
+        self.set_of(line)
+    }
+
     #[inline(always)]
     fn set_of(&self, line: Addr) -> usize {
         let idx = line >> self.set_shift;

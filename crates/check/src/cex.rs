@@ -1,0 +1,265 @@
+//! Replayable counterexamples: serialization, replay, and shrinking.
+//!
+//! A counterexample is a step sequence (action + schedule script per
+//! step) plus the fault plan that was armed, in a line-oriented text
+//! format stable enough to commit under `crates/bench/regressions/`.
+//! Replay rebuilds the family's system from scratch and re-executes the
+//! steps at the same logical clocks the explorer used, so a committed
+//! file reproduces its violation deterministically on any host. The
+//! fault plan string is in [`FaultPlan::parse`] format, so the same
+//! failure can also be re-armed under `fault_campaign --faults`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tako_sim::fault::FaultPlan;
+
+use crate::explore::{check_state, run_step, PropertyKind, Step};
+use crate::families::{self, Family};
+use crate::sched::{ScriptScheduler, ScriptState};
+
+/// A shrunk, replayable protocol-violation witness.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Family whose probe Morph was registered.
+    pub family: Family,
+    /// Tiles in the system under check.
+    pub tiles: usize,
+    /// Fault plan armed during the run, in [`FaultPlan::parse`] format
+    /// (`seed:kind[:count]`), or `None` for an unfaulted run.
+    pub faults: Option<String>,
+    /// Property class the witness violates.
+    pub kind: PropertyKind,
+    /// Description of the violated property (from the replay).
+    pub message: String,
+    /// The step sequence, executed in order from the initial state.
+    pub steps: Vec<Step>,
+}
+
+impl Counterexample {
+    /// Serialize to the committed text format.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("takocex v1\n");
+        s.push_str(&format!("family: {}\n", self.family.name()));
+        s.push_str(&format!("tiles: {}\n", self.tiles));
+        s.push_str(&format!(
+            "faults: {}\n",
+            self.faults.as_deref().unwrap_or("none")
+        ));
+        s.push_str(&format!("kind: {}\n", self.kind));
+        s.push_str(&format!("message: {}\n", self.message));
+        for st in &self.steps {
+            let op = if st.write { 'W' } else { 'R' };
+            let script = st
+                .script
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(" ");
+            s.push_str(&format!(
+                "step: t{} {} {} ; {}\n",
+                st.tile, op, st.line, script
+            ));
+        }
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parse a [`Counterexample::render`] document.
+    pub fn parse(text: &str) -> Result<Counterexample, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("takocex v1") => {}
+            other => return Err(format!("bad header {other:?} (want \"takocex v1\")")),
+        }
+        let mut family = None;
+        let mut tiles = 2usize;
+        let mut faults = None;
+        let mut kind = None;
+        let mut message = String::new();
+        let mut steps = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "end" {
+                ended = true;
+                break;
+            }
+            let (key, val) = line
+                .split_once(':')
+                .ok_or_else(|| format!("malformed line {line:?}"))?;
+            let val = val.trim();
+            match key {
+                "family" => {
+                    family =
+                        Some(Family::parse(val).ok_or_else(|| format!("unknown family {val:?}"))?);
+                }
+                "tiles" => {
+                    tiles = val.parse().map_err(|_| format!("bad tile count {val:?}"))?;
+                }
+                "faults" => {
+                    if val != "none" {
+                        // Validate eagerly so a bad plan fails at parse
+                        // time, not mid-replay.
+                        FaultPlan::parse(val).map_err(|e| format!("bad fault plan: {e}"))?;
+                        faults = Some(val.to_string());
+                    }
+                }
+                "kind" => {
+                    kind = Some(
+                        PropertyKind::parse(val)
+                            .ok_or_else(|| format!("unknown property kind {val:?}"))?,
+                    );
+                }
+                "message" => message = val.to_string(),
+                "step" => steps.push(parse_step(val)?),
+                other => return Err(format!("unknown key {other:?}")),
+            }
+        }
+        if !ended {
+            return Err("missing \"end\" terminator".to_string());
+        }
+        Ok(Counterexample {
+            family: family.ok_or("missing family")?,
+            tiles,
+            faults,
+            kind: kind.ok_or("missing kind")?,
+            message,
+            steps,
+        })
+    }
+
+    /// Parsed fault plan, if one is armed.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+            .as_deref()
+            .map(|s| FaultPlan::parse(s).expect("fault plan validated at parse time"))
+    }
+}
+
+fn parse_step(val: &str) -> Result<Step, String> {
+    // "t0 W 3 ; 1 0" — tile, op, line index, then the schedule script.
+    let (action, script) = val
+        .split_once(';')
+        .ok_or_else(|| format!("step missing ';': {val:?}"))?;
+    let mut parts = action.split_whitespace();
+    let tile = parts
+        .next()
+        .and_then(|t| t.strip_prefix('t'))
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| format!("bad step tile in {val:?}"))?;
+    let write = match parts.next() {
+        Some("R") => false,
+        Some("W") => true,
+        other => return Err(format!("bad step op {other:?} in {val:?}")),
+    };
+    let line = parts
+        .next()
+        .and_then(|l| l.parse().ok())
+        .ok_or_else(|| format!("bad step line in {val:?}"))?;
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in step {val:?}"));
+    }
+    let script = script
+        .split_whitespace()
+        .map(|c| {
+            c.parse()
+                .map_err(|_| format!("bad script choice in {val:?}"))
+        })
+        .collect::<Result<Vec<usize>, String>>()?;
+    Ok(Step {
+        tile,
+        write,
+        line,
+        script,
+    })
+}
+
+/// Re-execute `steps` from a fresh system and return the first
+/// violation hit, if any. Sequential replay reproduces the explorer's
+/// states exactly: each explored node's snapshot was itself produced by
+/// running this step prefix at these clocks.
+pub fn replay(
+    family: Family,
+    tiles: usize,
+    faults: Option<&FaultPlan>,
+    steps: &[Step],
+) -> Option<(PropertyKind, String)> {
+    let mut cs = families::build(family, tiles, faults);
+    let shared = Rc::new(RefCell::new(ScriptState::default()));
+    cs.sys
+        .hierarchy_mut()
+        .install_scheduler(Some(Box::new(ScriptScheduler(Rc::clone(&shared)))));
+    for (depth, step) in steps.iter().enumerate() {
+        if step.line >= cs.lines.len() {
+            return Some((
+                PropertyKind::Safety,
+                format!("step line index {} out of range", step.line),
+            ));
+        }
+        run_step(&mut cs, &shared, step, depth);
+        let st = shared.borrow();
+        if let Some(found) = check_state(&cs.sys, &st) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Replay a parsed counterexample document.
+pub fn replay_cex(cex: &Counterexample) -> Option<(PropertyKind, String)> {
+    replay(cex.family, cex.tiles, cex.fault_plan().as_ref(), &cex.steps)
+}
+
+/// Shrink a violating step sequence: greedily drop whole steps, then
+/// trim surviving schedule scripts back toward the hardware schedule,
+/// re-replaying after every candidate edit. The result still violates
+/// the same property class; the final message is taken from the last
+/// successful replay.
+pub fn shrink(
+    family: Family,
+    tiles: usize,
+    faults: Option<&FaultPlan>,
+    kind: PropertyKind,
+    steps: &[Step],
+) -> (Vec<Step>, String) {
+    let reproduces = |cand: &[Step]| -> Option<String> {
+        match replay(family, tiles, faults, cand) {
+            Some((k, m)) if k == kind => Some(m),
+            _ => None,
+        }
+    };
+    let mut cur = steps.to_vec();
+    let mut message = reproduces(&cur)
+        .unwrap_or_else(|| panic!("shrink input does not reproduce its {kind} violation"));
+    let mut i = 0;
+    while i < cur.len() {
+        let mut cand = cur.clone();
+        cand.remove(i);
+        match reproduces(&cand) {
+            Some(m) => {
+                cur = cand;
+                message = m;
+            }
+            None => i += 1,
+        }
+    }
+    for i in 0..cur.len() {
+        while !cur[i].script.is_empty() {
+            let mut cand = cur.clone();
+            cand[i].script.pop();
+            match reproduces(&cand) {
+                Some(m) => {
+                    cur = cand;
+                    message = m;
+                }
+                None => break,
+            }
+        }
+    }
+    (cur, message)
+}

@@ -1,0 +1,418 @@
+//! Bounded exhaustive exploration of the callback protocol layer.
+//!
+//! The explorer drives the *real* staged pipeline — [`TakoSystem`] with
+//! the tiny geometry from [`crate::families`] — through every
+//! interleaving the [`tako_core::StageScheduler`] seam can reach, to a
+//! bounded number of architectural actions. Search is breadth-first
+//! over snapshot bytes: each node restores its parent's snapshot, runs
+//! one action under one schedule script, asserts the safety and
+//! liveness properties, and fingerprints the resulting protocol state
+//! to close the visited set. Alternative schedules are enumerated by
+//! replaying the recorded consultation trace with one choice flipped,
+//! so exactly the reachable schedule tree is explored (capped per
+//! action, with overflow counted — never silently dropped).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use tako_core::TakoSystem;
+use tako_cpu::{AccessKind, MemSystem};
+use tako_mem::addr::is_phantom;
+use tako_sim::fault::FaultPlan;
+use tako_sim::Cycle;
+
+use crate::families::{self, CheckSystem, Family};
+use crate::fingerprint::fingerprint;
+use crate::sched::{ScriptScheduler, ScriptState, LIVELOCK_CAP, MAX_SCRIPT};
+
+/// Logical cycles between successive architectural actions: generous
+/// enough that every callback chain from one action quiesces before
+/// the next action's clock.
+pub const STEP_CYCLES: Cycle = 100_000;
+
+/// One architectural action plus the schedule script it ran under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Issuing tile.
+    pub tile: usize,
+    /// Store (`true`) or load (`false`).
+    pub write: bool,
+    /// Index into the family's line alphabet ([`families::CheckSystem::lines`]).
+    pub line: usize,
+    /// Scheduler choices forced at the first consultations; hardware
+    /// defaults beyond the end.
+    pub script: Vec<usize>,
+}
+
+/// Exploration bounds.
+#[derive(Debug, Clone)]
+pub struct Bounds {
+    /// Maximum architectural actions along any path.
+    pub depth: usize,
+    /// Tiles in the system under check.
+    pub tiles: usize,
+    /// Schedule scripts explored per `(state, action)` pair; overflow
+    /// beyond the cap is counted in the report.
+    pub max_scripts: usize,
+}
+
+impl Default for Bounds {
+    fn default() -> Self {
+        Bounds {
+            depth: 6,
+            tiles: 2,
+            max_scripts: 64,
+        }
+    }
+}
+
+/// Which property class a violation falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropertyKind {
+    /// An invariant broken in a reachable state.
+    Safety,
+    /// Progress lost: a parked callback, a checked-out engine, or a
+    /// stage walk that never stops consulting the scheduler.
+    Liveness,
+}
+
+impl PropertyKind {
+    /// Stable lowercase name (report + counterexample files).
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyKind::Safety => "safety",
+            PropertyKind::Liveness => "liveness",
+        }
+    }
+
+    /// Parse a [`PropertyKind::name`] back.
+    pub fn parse(s: &str) -> Option<PropertyKind> {
+        match s {
+            "safety" => Some(PropertyKind::Safety),
+            "liveness" => Some(PropertyKind::Liveness),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A property violation plus the step sequence that reached it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Safety or liveness.
+    pub kind: PropertyKind,
+    /// Human-readable description of the broken property.
+    pub message: String,
+    /// Path from the initial state (unshrunk; see [`crate::cex`]).
+    pub steps: Vec<Step>,
+}
+
+/// Result of exhausting (or aborting) one family's state space.
+#[derive(Debug)]
+pub struct FamilyReport {
+    /// The family explored.
+    pub family: Family,
+    /// Distinct protocol states reached (including the initial state).
+    pub states: usize,
+    /// `(state, action, script)` edges executed.
+    pub edges: usize,
+    /// States first reached at each depth; `frontier[0] == 1`.
+    pub frontier: Vec<usize>,
+    /// Schedule scripts dropped by the per-action cap.
+    pub script_overflows: usize,
+    /// First violation found in BFS order (shortest path), if any.
+    pub violation: Option<Violation>,
+}
+
+impl FamilyReport {
+    /// Render the deterministic report block (no wall-clock content, so
+    /// equal explorations render byte-identically).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let frontier = self
+            .frontier
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/");
+        s.push_str(&format!(
+            "[{}] states {}, edges {}, frontier {}, script overflows {}\n",
+            self.family.name(),
+            self.states,
+            self.edges,
+            frontier,
+            self.script_overflows,
+        ));
+        match &self.violation {
+            None => s.push_str(&format!("[{}] clean\n", self.family.name())),
+            Some(v) => {
+                s.push_str(&format!(
+                    "[{}] {} VIOLATION after {} steps: {}\n",
+                    self.family.name(),
+                    v.kind,
+                    v.steps.len(),
+                    v.message,
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Execute `step` on `cs` (restored beforehand by the caller), with the
+/// step's script armed in `shared`, at the logical clock for `depth`.
+pub fn run_step(
+    cs: &mut CheckSystem,
+    shared: &Rc<RefCell<ScriptState>>,
+    step: &Step,
+    depth: usize,
+) {
+    shared.borrow_mut().arm(step.script.clone());
+    let now = (depth as Cycle + 1) * STEP_CYCLES;
+    let kind = if step.write {
+        AccessKind::Write
+    } else {
+        AccessKind::Read
+    };
+    let addr = cs.lines[step.line];
+    cs.sys.timed_access(step.tile, kind, addr, now);
+}
+
+/// Check every safety property in a quiesced state. Returns the first
+/// broken property's description.
+pub fn safety_check(sys: &TakoSystem) -> Option<String> {
+    let h = sys.hierarchy();
+    // A quarantined Morph means the restriction checker (Sec 4.3) or
+    // the fault layer caught an illegal action; in an unfaulted run the
+    // probe Morphs are legal, so reaching quarantine is a finding.
+    if let Some((id, reason)) = h.registry.quarantined_morphs().next() {
+        return Some(format!("morph {id} quarantined: {reason}"));
+    }
+    // trrîp's one-callback-free-line-per-set rule in every
+    // morph-capable array (Sec 5.2's deadlock-freedom precondition).
+    for (i, t) in h.tiles.iter().enumerate() {
+        if !t.l2.morph_invariant_holds() {
+            return Some(format!("tile {i} L2 breaks the free-line-per-set rule"));
+        }
+    }
+    for (b, bank) in h.llc.iter().enumerate() {
+        if !bank.morph_invariant_holds() {
+            return Some(format!("LLC bank {b} breaks the free-line-per-set rule"));
+        }
+    }
+    // MSHR occupancy and the Sec 5.2 callback reservation: callback
+    // misses must never hold every entry of a file.
+    for (b, m) in h.mshrs.iter().enumerate() {
+        if m.len() > m.capacity() {
+            return Some(format!(
+                "LLC bank {b} MSHR file oversubscribed ({} of {})",
+                m.len(),
+                m.capacity()
+            ));
+        }
+        if m.capacity() > 0 && m.callback_entries() >= m.capacity() {
+            return Some(format!(
+                "callback misses hold all {} MSHRs of LLC bank {b}",
+                m.capacity()
+            ));
+        }
+    }
+    // Coherence SWMR: a line held exclusive by one tile's private
+    // caches must not be valid anywhere else. PRIVATE-Morph phantom
+    // lines are exempt: each tile's callbacks materialize a tile-local
+    // view with no directory entry, so per-tile copies are by design.
+    let mut holders: HashMap<u64, (u64, u64)> = HashMap::new();
+    for (i, t) in h.tiles.iter().enumerate() {
+        for e in t.l1d.iter().chain(t.l2.iter()) {
+            let (held, excl) = holders.entry(e.line).or_insert((0, 0));
+            *held |= 1 << i;
+            if e.exclusive {
+                *excl |= 1 << i;
+            }
+        }
+    }
+    let mut lines: Vec<_> = holders.into_iter().collect();
+    lines.sort_unstable_by_key(|&(line, _)| line);
+    for (line, (held, excl)) in lines {
+        if is_phantom(line)
+            && matches!(
+                h.registry.lookup(line),
+                Some((_, tako_core::MorphLevel::Private))
+            )
+        {
+            continue;
+        }
+        if excl != 0 && (excl.count_ones() > 1 || held != excl) {
+            return Some(format!(
+                "line {line:#x} exclusive in tiles {excl:#b} but held in tiles {held:#b}"
+            ));
+        }
+    }
+    None
+}
+
+/// Check the liveness properties after an action's walk returned.
+pub fn liveness_check(sys: &TakoSystem, st: &ScriptState) -> Option<String> {
+    if st.livelock {
+        return Some(format!(
+            "stage walk consulted the scheduler {LIVELOCK_CAP} times in one action (livelock)"
+        ));
+    }
+    let h = sys.hierarchy();
+    if let Some((tile, morph, kind, line, _)) = h.pending_callbacks().first() {
+        return Some(format!(
+            "{kind:?} callback for morph {morph} line {line:#x} (tile {tile}) left parked after the walk quiesced"
+        ));
+    }
+    for (i, e) in h.engines.iter().enumerate() {
+        if e.is_none() {
+            return Some(format!("tile {i} engine never checked back in"));
+        }
+    }
+    None
+}
+
+/// Run [`safety_check`] then [`liveness_check`].
+pub fn check_state(sys: &TakoSystem, st: &ScriptState) -> Option<(PropertyKind, String)> {
+    if let Some(m) = safety_check(sys) {
+        return Some((PropertyKind::Safety, m));
+    }
+    if let Some(m) = liveness_check(sys, st) {
+        return Some((PropertyKind::Liveness, m));
+    }
+    None
+}
+
+struct Node {
+    bytes: Vec<u8>,
+    depth: usize,
+    steps: Vec<Step>,
+}
+
+/// Exhaustively explore one family's bounded state space. Exploration
+/// stops at the first violation (BFS order, so the returned path is
+/// depth-minimal).
+pub fn check_family(family: Family, bounds: &Bounds, faults: Option<&FaultPlan>) -> FamilyReport {
+    let mut cs = families::build(family, bounds.tiles, faults);
+    let shared = Rc::new(RefCell::new(ScriptState::default()));
+    cs.sys
+        .hierarchy_mut()
+        .install_scheduler(Some(Box::new(ScriptScheduler(Rc::clone(&shared)))));
+
+    // tile × {load, store} × line, in fixed order for determinism.
+    let mut actions = Vec::new();
+    for tile in 0..bounds.tiles {
+        for write in [false, true] {
+            for line in 0..cs.lines.len() {
+                actions.push((tile, write, line));
+            }
+        }
+    }
+
+    let init_bytes = cs.sys.snapshot_bytes();
+    let mut visited = HashSet::new();
+    visited.insert(fingerprint(&cs.sys));
+    let mut frontier = vec![1usize];
+    let mut queue = VecDeque::new();
+    queue.push_back(Node {
+        bytes: init_bytes,
+        depth: 0,
+        steps: Vec::new(),
+    });
+
+    let mut states = 1usize;
+    let mut edges = 0usize;
+    let mut script_overflows = 0usize;
+    let mut violation = None;
+
+    'search: while let Some(node) = queue.pop_front() {
+        if node.depth >= bounds.depth {
+            continue;
+        }
+        for &(tile, write, line) in &actions {
+            // Enumerate the schedule tree for this (state, action):
+            // start from the all-defaults script, and for every
+            // consultation the walk recorded, branch on the choices not
+            // taken. `scripts` grows as alternatives are discovered.
+            let mut scripts: Vec<Vec<usize>> = vec![Vec::new()];
+            let mut si = 0;
+            while si < scripts.len() {
+                if si >= bounds.max_scripts {
+                    script_overflows += scripts.len() - si;
+                    break;
+                }
+                let step = Step {
+                    tile,
+                    write,
+                    line,
+                    script: scripts[si].clone(),
+                };
+                si += 1;
+                edges += 1;
+
+                cs.sys
+                    .restore_bytes(&node.bytes)
+                    .expect("restore of a snapshot this exploration took");
+                run_step(&mut cs, &shared, &step, node.depth);
+
+                let st = shared.borrow();
+                for i in step.script.len()..st.trace.len().min(MAX_SCRIPT) {
+                    let (_, n, chosen) = st.trace[i];
+                    for alt in 0..n {
+                        if alt != chosen {
+                            let mut s: Vec<usize> =
+                                st.trace[..i].iter().map(|&(_, _, c)| c).collect();
+                            s.push(alt);
+                            scripts.push(s);
+                        }
+                    }
+                }
+
+                if let Some((kind, message)) = check_state(&cs.sys, &st) {
+                    let mut steps = node.steps.clone();
+                    steps.push(step);
+                    violation = Some(Violation {
+                        kind,
+                        message,
+                        steps,
+                    });
+                    break 'search;
+                }
+                drop(st);
+
+                let fp = fingerprint(&cs.sys);
+                if visited.insert(fp) {
+                    states += 1;
+                    let depth = node.depth + 1;
+                    if frontier.len() <= depth {
+                        frontier.resize(depth + 1, 0);
+                    }
+                    frontier[depth] += 1;
+                    let mut steps = node.steps.clone();
+                    steps.push(step);
+                    queue.push_back(Node {
+                        bytes: cs.sys.snapshot_bytes(),
+                        depth,
+                        steps,
+                    });
+                }
+            }
+        }
+    }
+
+    FamilyReport {
+        family,
+        states,
+        edges,
+        frontier,
+        script_overflows,
+        violation,
+    }
+}

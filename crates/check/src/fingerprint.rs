@@ -1,0 +1,79 @@
+//! Protocol-state fingerprints for the visited set.
+//!
+//! The full [`TakoSystem`] snapshot carries timing (ready cycles, LRU
+//! stamps, engine clocks) that grows monotonically with the logical
+//! clock, so raw snapshot bytes would never collide and the search
+//! would never close. The fingerprint instead serializes only the
+//! *protocol* state — tag-array occupancy and coherence bits, MSHR and
+//! callback-buffer occupancy, deferred callbacks, quarantine — through
+//! the same [`SnapWriter`] framing the checkpoint layer uses, and
+//! hashes it. Two states with equal fingerprints are
+//! protocol-equivalent: every enabled action and every restriction or
+//! invariant check behaves identically from either.
+
+use tako_core::TakoSystem;
+use tako_sim::checkpoint::SnapWriter;
+use tako_sim::digest::Sha256;
+
+/// A 256-bit protocol-state fingerprint.
+pub type Fingerprint = [u8; 32];
+
+/// Fingerprint the protocol-visible state of `sys`.
+pub fn fingerprint(sys: &TakoSystem) -> Fingerprint {
+    let mut w = SnapWriter::new();
+    let h = sys.hierarchy();
+
+    w.section("check.tags");
+    let arrays = h
+        .tiles
+        .iter()
+        .flat_map(|t| [&t.l1d, &t.l2])
+        .chain(h.llc.iter())
+        .chain(h.engines.iter().flatten().map(|e| &e.l1d));
+    for array in arrays {
+        // `iter()` walks sets and ways in storage order, so equal
+        // occupancy always serializes identically.
+        w.put_len(array.iter().count());
+        for e in array.iter() {
+            w.put_u64(e.line);
+            w.put_bool(e.dirty);
+            w.put_bool(e.morph);
+            w.put_bool(e.prefetched);
+            w.put_bool(e.exclusive);
+            w.put_u64(e.sharers);
+            match e.owner {
+                Some(t) => {
+                    w.put_bool(true);
+                    w.put_u8(t);
+                }
+                None => w.put_bool(false),
+            }
+            // rrpv / lru_stamp / ready_at are timing, not protocol.
+        }
+    }
+
+    w.section("check.mshrs");
+    for m in &h.mshrs {
+        w.put_usize(m.len());
+        w.put_usize(m.callback_entries());
+    }
+
+    w.section("check.callbacks");
+    w.put_len(h.pending_callbacks().len());
+    for (tile, morph, kind, line, _arrival) in h.pending_callbacks() {
+        w.put_usize(*tile);
+        w.put_usize(*morph);
+        w.put_u8(*kind as u8);
+        w.put_u64(*line);
+    }
+
+    w.section("check.quarantine");
+    for (id, reason) in h.registry.quarantined_morphs() {
+        w.put_usize(id);
+        w.put_str(reason);
+    }
+
+    let mut d = Sha256::new();
+    d.update(w.as_bytes());
+    d.finish()
+}

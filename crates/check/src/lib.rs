@@ -1,0 +1,41 @@
+//! `tako-check`: an exhaustive small-config model checker for the täkō
+//! callback protocol layer.
+//!
+//! The checker enumerates every interleaving of misses, evictions,
+//! writebacks, callback actions, coherence transitions, and MSHR
+//! admit/drain decisions that a tiny bounded hierarchy (2 tiles, 2
+//! sets, 2 ways, 2-entry MSHR files) can reach within a step bound —
+//! and it does so against the *real* staged [`tako_core::TakoSystem`]
+//! pipeline, not a re-model. Nondeterminism is injected through the
+//! [`tako_core::StageScheduler`] seam in the transaction stage walk;
+//! state is captured with the checkpoint layer's snapshot bytes and
+//! deduplicated by a protocol-only fingerprint.
+//!
+//! Properties checked on every reachable state:
+//!
+//! - **Safety** — the Sec 4.3 restriction rules never trip (no Morph
+//!   quarantines in an unfaulted run), the Sec 5.2 MSHR callback
+//!   reservation is never oversubscribed, trrîp's
+//!   one-callback-free-line-per-set rule holds in every morph-capable
+//!   array, and coherence keeps single-writer/multiple-reader.
+//! - **Liveness** — every stage walk terminates (no unbounded
+//!   scheduler consultation), no callback is left parked in the
+//!   writeback buffer after the walk quiesces, and every engine checks
+//!   back in.
+//!
+//! Violations shrink ([`cex::shrink`]) to a minimal replayable
+//! [`cex::Counterexample`] whose fault plan string `fault_campaign`
+//! can re-arm. The `protocol_check` binary in `tako-bench` drives the
+//! per-family sweeps; see EXPERIMENTS.md.
+
+pub mod cex;
+pub mod explore;
+pub mod families;
+pub mod fingerprint;
+pub mod sched;
+
+pub use cex::{replay, replay_cex, shrink, Counterexample};
+pub use explore::{check_family, Bounds, FamilyReport, PropertyKind, Step, Violation};
+pub use families::{Family, FAMILIES};
+pub use fingerprint::{fingerprint, Fingerprint};
+pub use sched::{ScriptScheduler, ScriptState};

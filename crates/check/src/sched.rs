@@ -1,0 +1,83 @@
+//! Schedule scripts: driving the [`StageScheduler`] seam from a
+//! recorded/extended choice sequence.
+//!
+//! An exploration step runs one architectural action under a *script*:
+//! a finite list of choice indices consumed positionally, one per
+//! scheduler consultation. Consultations past the end of the script
+//! take the hardware default, and every consultation is recorded in a
+//! trace so the explorer can branch on the alternatives it did not
+//! take. The scheduler is handed to the hierarchy as a boxed trait
+//! object, so script state lives behind a shared [`Rc`] handle the
+//! explorer keeps.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use tako_core::{SchedPoint, StageScheduler};
+
+/// Hardware's default choice at a consultation point (what an
+/// uninstrumented walk does).
+pub fn hw_default(point: SchedPoint, n: usize) -> usize {
+    match point {
+        // The writeback buffer drains LIFO.
+        SchedPoint::DrainPick => n.saturating_sub(1),
+        // Callbacks run when triggered; MSHRs drain on bank entry.
+        SchedPoint::DeferCallback | SchedPoint::MshrDrain => 0,
+    }
+}
+
+/// Consultations beyond this many per action stop branching (the
+/// script can no longer be extended), bounding the per-action schedule
+/// tree: a defer choice re-queues the callback and consults again, so
+/// without this cap the tree would be infinite.
+pub const MAX_SCRIPT: usize = 12;
+
+/// One action's worth of scheduler consultations is far below this; an
+/// action that consults this many times is livelocked in the stage walk.
+pub const LIVELOCK_CAP: usize = 10_000;
+
+/// Shared state between the explorer and the installed scheduler.
+#[derive(Default)]
+pub struct ScriptState {
+    /// Choice indices to force, consumed positionally.
+    pub script: Vec<usize>,
+    /// Consultation cursor (equals `trace.len()`).
+    pub pos: usize,
+    /// Every consultation this action: `(point, n, chosen)`.
+    pub trace: Vec<(SchedPoint, usize, usize)>,
+    /// Set when the consultation count blew past [`LIVELOCK_CAP`].
+    pub livelock: bool,
+}
+
+impl ScriptState {
+    /// Reset for a fresh action under `script`.
+    pub fn arm(&mut self, script: Vec<usize>) {
+        self.script = script;
+        self.pos = 0;
+        self.trace.clear();
+        self.livelock = false;
+    }
+}
+
+/// The [`StageScheduler`] installed into the hierarchy under check.
+pub struct ScriptScheduler(pub Rc<RefCell<ScriptState>>);
+
+impl StageScheduler for ScriptScheduler {
+    fn choose(&mut self, point: SchedPoint, n: usize) -> usize {
+        let mut st = self.0.borrow_mut();
+        if st.trace.len() >= LIVELOCK_CAP {
+            // Stop recording and take hardware defaults so the walk can
+            // terminate; the explorer reports the livelock.
+            st.livelock = true;
+            return hw_default(point, n);
+        }
+        let choice = if st.pos < st.script.len() {
+            st.script[st.pos].min(n.saturating_sub(1))
+        } else {
+            hw_default(point, n)
+        };
+        st.pos += 1;
+        st.trace.push((point, n, choice));
+        choice
+    }
+}

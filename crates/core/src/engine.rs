@@ -98,6 +98,11 @@ pub struct Engine {
     /// addresses, oldest first; x86-class cores have ~8-10).
     pub wc_lines: Vec<Addr>,
     slots: BinaryHeap<Reverse<Cycle>>,
+    /// Slots borrowed while the buffer was oversubscribed (more nested
+    /// concurrent callbacks than `callback_buffer` entries). Repaid in
+    /// [`Engine::complete`]; zero at every quiescent point, so it is
+    /// not serialized.
+    slot_debt: usize,
     line_locks: HashMap<Addr, Cycle>,
     morph_last: HashMap<MorphId, Cycle>,
     bitstreams: Vec<MorphId>,
@@ -117,6 +122,7 @@ impl Engine {
             rtlb: Rtlb::new(cfg.rtlb_entries as usize),
             wc_lines: Vec::with_capacity(WC_BUFFERS),
             slots,
+            slot_debt: 0,
             line_locks: HashMap::new(),
             morph_last: HashMap::new(),
             bitstreams: Vec::new(),
@@ -147,8 +153,18 @@ impl Engine {
         serialize: bool,
         stats: &mut Stats,
     ) -> Cycle {
-        // Callback-buffer slot: one entry held until completion.
-        let Reverse(slot_free) = self.slots.pop().expect("buffer has slots");
+        // Callback-buffer slot: one entry held until completion. With
+        // more nested concurrent callbacks than buffer entries the pop
+        // fails; hardware would backpressure the writeback buffer, so
+        // degrade by borrowing a slot (repaid in `complete`) and
+        // charging a full-buffer stall instead of panicking.
+        let slot_free = match self.slots.pop() {
+            Some(Reverse(c)) => c,
+            None => {
+                self.slot_debt += 1;
+                arrival + 1
+            }
+        };
         let mut start = arrival.max(slot_free);
         if slot_free > arrival {
             stats.bump(Counter::CbBufferFull);
@@ -198,7 +214,11 @@ impl Engine {
         serialize: bool,
         stats: &mut Stats,
     ) {
-        self.slots.push(Reverse(completion));
+        if self.slot_debt > 0 {
+            self.slot_debt -= 1;
+        } else {
+            self.slots.push(Reverse(completion));
+        }
         self.line_locks.insert(line, completion);
         if serialize {
             self.morph_last

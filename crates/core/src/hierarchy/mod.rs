@@ -88,6 +88,38 @@ use crate::engine::Engine;
 use crate::morph::{CallbackKind, MorphId, MorphRegistry};
 use crate::watchdog::Watchdog;
 
+/// A nondeterministic decision point in the txn stage walk.
+///
+/// Hardware resolves each of these with a fixed policy; a model checker
+/// installs a [`StageScheduler`] to explore the alternatives. With no
+/// scheduler installed every point takes its hardware default, so the
+/// walk is byte-identical to a seam-less build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPoint {
+    /// Which deferred callback to drain next out of `n` pending.
+    /// Hardware drains the writeback buffer LIFO (index `n - 1`).
+    DrainPick,
+    /// Whether a ready callback runs now (`0`, the hardware path) or is
+    /// parked in the writeback buffer first (`1`), exploring the
+    /// trigger-vs-drain interleaving of Sec 5.2.
+    DeferCallback,
+    /// Whether completed MSHR entries drain on bank entry (`0`, the
+    /// hardware path) or are held across this admission (`1`),
+    /// exploring admit/drain orderings against the Sec 5.2 callback
+    /// reservation.
+    MshrDrain,
+}
+
+/// Pluggable scheduler for the nondeterministic points of the stage
+/// walk. `choose` returns an index in `0..n`; out-of-range answers are
+/// clamped. Implementations must eventually fall back to the hardware
+/// default (e.g. a finite choice script) — a scheduler that defers the
+/// same callback forever livelocks the walk by construction.
+pub trait StageScheduler {
+    /// Pick one of `n` alternatives at `point`.
+    fn choose(&mut self, point: SchedPoint, n: usize) -> usize;
+}
+
 /// A user-space interrupt raised by a callback (Sec 4.3 / Sec 8.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interrupt {
@@ -145,6 +177,11 @@ pub struct Hierarchy {
     pub mshrs: Vec<MshrFile>,
     /// Runtime invariant watchdog and forward-progress detector.
     pub watchdog: Watchdog,
+    /// Optional scheduler for the walk's nondeterministic points.
+    /// `None` (the default, and the only production configuration)
+    /// means every [`SchedPoint`] takes its hardware policy. Host-side
+    /// harness state: never serialized by [`Snapshot`].
+    scheduler: Option<Box<dyn StageScheduler>>,
     /// Raised by the epoch sweep when the checkpoint cadence
     /// (`cfg.checkpoint`) elapses; the driver drains it with
     /// [`Hierarchy::take_checkpoint_due`] at the next quiescent point.
@@ -203,9 +240,35 @@ impl Hierarchy {
             callback_depth: 0,
             mshrs,
             watchdog: Watchdog::new(cfg.watchdog),
+            scheduler: None,
             ckpt_due: false,
             cfg,
         }
+    }
+
+    /// Install (or remove) the stage-walk scheduler. Returns the
+    /// previous one. The scheduler survives [`Snapshot`] restores — it
+    /// is harness state, not machine state.
+    pub fn install_scheduler(
+        &mut self,
+        s: Option<Box<dyn StageScheduler>>,
+    ) -> Option<Box<dyn StageScheduler>> {
+        std::mem::replace(&mut self.scheduler, s)
+    }
+
+    /// Resolve a [`SchedPoint`] with `n` alternatives; `hw` is the
+    /// hardware policy used when no scheduler is installed.
+    fn sched_choose(&mut self, point: SchedPoint, n: usize, hw: usize) -> usize {
+        match &mut self.scheduler {
+            Some(s) => s.choose(point, n).min(n.saturating_sub(1)),
+            None => hw,
+        }
+    }
+
+    /// Callbacks currently parked in the writeback buffer (deferred
+    /// because their Morph was mid-callback, or by a scheduler).
+    pub fn pending_callbacks(&self) -> &[(TileId, MorphId, CallbackKind, Addr, Cycle)] {
+        &self.pending_callbacks
     }
 
     /// True once per elapsed checkpoint interval: the epoch sweep raises
@@ -243,10 +306,10 @@ impl Hierarchy {
         arrival: Cycle,
     ) -> Cycle {
         let done = self.run_callback_inner(engine_tile, morph_id, kind, line, arrival);
-        while self.callback_depth == 0 {
-            let Some((t, m, k, l, a)) = self.pending_callbacks.pop() else {
-                break;
-            };
+        while self.callback_depth == 0 && !self.pending_callbacks.is_empty() {
+            let n = self.pending_callbacks.len();
+            let i = self.sched_choose(SchedPoint::DrainPick, n, n - 1);
+            let (t, m, k, l, a) = self.pending_callbacks.remove(i);
             self.run_callback_inner(t, m, k, l, a.max(done));
         }
         done
@@ -282,6 +345,13 @@ impl Hierarchy {
         {
             self.quarantine_morph(morph_id, "fabric capacity exhausted");
             self.bus.emit(TxnEvent::CallbackDegraded);
+            return arrival;
+        }
+        // A scheduler may park a ready callback in the writeback buffer
+        // to explore trigger-vs-drain orderings; hardware never does.
+        if self.scheduler.is_some() && self.sched_choose(SchedPoint::DeferCallback, 2, 0) == 1 {
+            self.pending_callbacks
+                .push((engine_tile, morph_id, kind, line, arrival));
             return arrival;
         }
         let Some(mut morph) = self.registry.checkout(morph_id) else {

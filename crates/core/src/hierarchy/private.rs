@@ -42,7 +42,7 @@ impl Hierarchy {
             self.core_access_inner(tile, kind, addr, t)
         };
         if self.watchdog.enabled() {
-            self.watchdog_observe(t, done);
+            self.watchdog_observe(line_of(addr), t, done);
         }
         done
     }
@@ -50,12 +50,14 @@ impl Hierarchy {
     /// The watchdog tail every completed core access runs: stall
     /// detection plus the epoch sweep. Shared by the serial walk above
     /// and the lane-replay path so both produce identical watchdog
-    /// counter histories.
-    fn watchdog_observe(&mut self, t: Cycle, done: Cycle) {
+    /// counter histories. `line` is the accessed cache line; on the
+    /// first stall the snapshot names it (and its LLC bank/set) as the
+    /// blocked line.
+    fn watchdog_observe(&mut self, line: Addr, t: Cycle, done: Cycle) {
         if let Some(latency) = self.watchdog.observe_access(t, done) {
             self.bus.emit(TxnEvent::StallDetected { latency });
             if self.watchdog.snapshot().is_none() {
-                let snap = self.diagnostic_snapshot(done, latency);
+                let snap = self.diagnostic_snapshot(done, latency, Some(line));
                 self.watchdog.attach_snapshot(snap);
             }
         }
@@ -67,10 +69,10 @@ impl Hierarchy {
     /// Replay the accounting of one committed pure lane step's L1d hit:
     /// exactly what the hot walk emits, re-run serially at the lane
     /// epoch barrier in canonical step order.
-    pub(crate) fn lane_replay_hit(&mut self, t: Cycle, done: Cycle) {
+    pub(crate) fn lane_replay_hit(&mut self, line: Addr, t: Cycle, done: Cycle) {
         self.bus.emit(TxnEvent::Hit(LevelId::L1d));
         if self.watchdog.enabled() {
-            self.watchdog_observe(t, done);
+            self.watchdog_observe(line, t, done);
         }
     }
 
@@ -178,7 +180,7 @@ impl Hierarchy {
             .watchdog
             .snapshot()
             .cloned()
-            .unwrap_or_else(|| self.diagnostic_snapshot(now, 0));
+            .unwrap_or_else(|| self.diagnostic_snapshot(now, 0, None));
         let _ = writeln!(s, "machine state: {snap:?}");
         let _ = writeln!(s, "fault plan: {}", self.bus.faults.cursor());
         if let Some(trace) = self.bus.trace() {
@@ -199,7 +201,19 @@ impl Hierarchy {
     }
 
     /// Structured machine-state dump for the first detected stall.
-    fn diagnostic_snapshot(&self, cycle: Cycle, latency: Cycle) -> DiagnosticSnapshot {
+    /// `blocked` is the stalled access's line, when known; the snapshot
+    /// resolves its home LLC bank and set so the dump names exactly
+    /// where the trrîp/MSHR argument broke, not just that it did.
+    fn diagnostic_snapshot(
+        &self,
+        cycle: Cycle,
+        latency: Cycle,
+        blocked: Option<Addr>,
+    ) -> DiagnosticSnapshot {
+        let blocked_set = blocked.map(|line| {
+            let bank = self.mesh.bank_of_line(line);
+            (bank, self.llc[bank].set_index(line))
+        });
         DiagnosticSnapshot {
             cycle,
             latency,
@@ -217,6 +231,8 @@ impl Hierarchy {
                 .collect(),
             pending_callbacks: self.pending_callbacks.len(),
             quarantined_morphs: self.registry.quarantined_morphs().count(),
+            blocked_line: blocked,
+            blocked_set,
         }
     }
 
@@ -266,8 +282,7 @@ impl Hierarchy {
                 .l2
                 .probe(line)
                 .map(|le| !le.exclusive())
-                .unwrap_or(false)
-                && !is_phantom(line);
+                .unwrap_or(false);
             if needs_upgrade {
                 done = self.upgrade(tile, line, done);
                 if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
@@ -313,8 +328,7 @@ impl Hierarchy {
                     .l2
                     .probe(line)
                     .map(|le| !le.exclusive())
-                    .unwrap_or(false)
-                    && !is_phantom(line);
+                    .unwrap_or(false);
                 if needs_upgrade {
                     done = self.upgrade(tile, line, done);
                     if let Some(mut le) = self.tiles[tile].l2.probe_mut(line) {
@@ -353,7 +367,7 @@ impl Hierarchy {
                     self.bus.emit(TxnEvent::PrefetchUseful);
                 }
                 let mut done = (t1 + l2_cfg.tag_latency + l2_cfg.data_latency).max(ready_at);
-                if write && !exclusive && !is_phantom(line) {
+                if write && !exclusive {
                     done = self.upgrade(tile, line, done);
                 }
                 if write {
@@ -403,7 +417,14 @@ impl Hierarchy {
                     self.handle_l2_evict(tile, ev, t2);
                 }
                 if let Some(mut e) = self.tiles[tile].l2.probe_mut(line) {
-                    e.set_exclusive(exclusive || write || is_phantom(line));
+                    // Exclusivity comes from the directory (or a write,
+                    // which invalidated other sharers in fetch_shared).
+                    // Phantom lines get no exception: a SHARED-morph
+                    // phantom line another tile still caches must not
+                    // take silent write hits here, or the copies
+                    // diverge and writebacks lose updates. PRIVATE
+                    // phantom fills pass `exclusive = true` explicitly.
+                    e.set_exclusive(exclusive || write);
                 }
                 self.fill_l1(tile, line, write, done);
                 done

@@ -69,7 +69,7 @@ use crate::system::TakoSystem;
 enum LaneOp {
     /// A pure L1d-hit walk (the hot walk's accounting): emit
     /// `Hit(L1d)` and run the watchdog observe/epoch tail.
-    Hit { t: Cycle, done: Cycle },
+    Hit { line: Addr, t: Cycle, done: Cycle },
     /// A core-side counter bump.
     Acct { c: Counter, n: u64 },
     /// A load-latency histogram sample.
@@ -262,7 +262,8 @@ impl<'a> LaneView<'a> {
     /// Roll the current step back to the marks captured at its start.
     fn rollback(&mut self, undo_mark: usize, ops_mark: usize, writes_mark: usize) {
         while self.undo.len() > undo_mark {
-            match self.undo.pop().unwrap() {
+            let Some(rec) = self.undo.pop() else { break };
+            match rec {
                 UndoRec::L1 { undo, stamp } => {
                     self.tile_state.l1d.restore_slot(undo);
                     self.tile_state.l1d.set_touch_stamp(stamp);
@@ -294,7 +295,11 @@ impl MemSystem for LaneView<'_> {
         }
         match self.pure_access(kind, addr, now) {
             Some(done) => {
-                self.ops.push(LaneOp::Hit { t: now, done });
+                self.ops.push(LaneOp::Hit {
+                    line: line_of(addr),
+                    t: now,
+                    done,
+                });
                 done
             }
             None => {
@@ -537,7 +542,9 @@ pub fn run_multicore_lanes(
         if remaining == 1 {
             // One program left: no other clock to order against, so the
             // rest of the run is the plain serial tail.
-            let i = (0..n).find(|&i| !done[i]).unwrap();
+            let Some(i) = (0..n).find(|&i| !done[i]) else {
+                break;
+            };
             let (tile, ref mut prog) = programs[i];
             loop {
                 step_budget(&mut steps_used, 1);
@@ -580,15 +587,26 @@ pub fn run_multicore_lanes(
                 if done[i] {
                     continue;
                 }
-                let now = core_slots[i].as_ref().map(|c| c.now()).unwrap();
+                // Slots are unique per program/tile (`tiles_ok` above);
+                // if one is somehow already taken, sit this program out
+                // of the round — the serial laggard step still advances
+                // it — rather than panicking mid-campaign.
+                let (Some(core), Some(pred), Some(tile_state)) = (
+                    core_slots[i].take(),
+                    pred_slots[i].take(),
+                    tile_slots[*tile].take(),
+                ) else {
+                    continue;
+                };
+                let now = core.now();
                 let bound = if now == min1 { min2 } else { min1 };
                 items.push(LaneItem {
                     idx: i,
                     tile: *tile,
                     prog: &mut **prog,
-                    core: core_slots[i].take().unwrap(),
-                    pred: pred_slots[i].take().unwrap(),
-                    tile_state: tile_slots[*tile].take().unwrap(),
+                    core,
+                    pred,
+                    tile_state,
                     bound,
                 });
             }
@@ -615,7 +633,7 @@ pub fn run_multicore_lanes(
             };
             for op in &o.ops[from..o.steps[s_idx].ops_to] {
                 match *op {
-                    LaneOp::Hit { t, done } => hier.lane_replay_hit(t, done),
+                    LaneOp::Hit { line, t, done } => hier.lane_replay_hit(line, t, done),
                     LaneOp::Acct { c, n } => hier.bus.stats.add(c, n),
                     LaneOp::LoadLat { lat } => hier.bus.stats.load_latency.record(lat),
                     LaneOp::Write { addr, bits, width } => match width {
@@ -639,10 +657,9 @@ pub fn run_multicore_lanes(
 
         // --- One serial step for the laggard (guarantees progress and
         // consumes whatever impurity parked its lane). ---
-        let i = (0..n)
-            .filter(|&i| !done[i])
-            .min_by_key(|&i| cores[i].now())
-            .unwrap();
+        let Some(i) = (0..n).filter(|&i| !done[i]).min_by_key(|&i| cores[i].now()) else {
+            break;
+        };
         step_budget(&mut steps_used, 1);
         let (tile, ref mut prog) = programs[i];
         let mut env = CoreEnv::new(tile, &mut cores[i], &mut predictors[i], sys);

@@ -80,6 +80,7 @@ pub mod watchdog;
 
 pub use ctx::EngineCtx;
 pub use error::TakoError;
+pub use hierarchy::{SchedPoint, StageScheduler};
 pub use lanes::run_multicore_lanes;
 pub use morph::{CallbackKind, Morph, MorphHandle, MorphId, MorphLevel};
 pub use system::TakoSystem;

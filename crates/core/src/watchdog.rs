@@ -62,6 +62,11 @@ pub struct DiagnosticSnapshot {
     pub pending_callbacks: usize,
     /// Morphs currently quarantined.
     pub quarantined_morphs: usize,
+    /// The cache line whose access stalled, when known.
+    pub blocked_line: Option<u64>,
+    /// `(bank, set)` the blocked line maps to in the LLC — the set the
+    /// trrîp one-callback-free-line argument is about.
+    pub blocked_set: Option<(usize, usize)>,
 }
 
 impl fmt::Display for DiagnosticSnapshot {
@@ -82,6 +87,13 @@ impl fmt::Display for DiagnosticSnapshot {
             write!(f, "{}/{} ({} cb)", m.len, m.capacity, m.for_callback)?;
         }
         writeln!(f, "]")?;
+        if let Some(line) = self.blocked_line {
+            write!(f, "  blocked line:  {line:#x}")?;
+            if let Some((bank, set)) = self.blocked_set {
+                write!(f, " (LLC bank {bank}, set {set})")?;
+            }
+            writeln!(f)?;
+        }
         write!(
             f,
             "  pending callbacks: {}, quarantined Morphs: {}",
@@ -258,6 +270,12 @@ impl tako_sim::checkpoint::Snapshot for Watchdog {
             }
             w.put_usize(s.pending_callbacks);
             w.put_usize(s.quarantined_morphs);
+            w.put_bool(s.blocked_line.is_some());
+            w.put_u64(s.blocked_line.unwrap_or(0));
+            w.put_bool(s.blocked_set.is_some());
+            let (bank, set) = s.blocked_set.unwrap_or((0, 0));
+            w.put_usize(bank);
+            w.put_usize(set);
         }
     }
 
@@ -303,6 +321,12 @@ impl tako_sim::checkpoint::Snapshot for Watchdog {
                     capacity: r.get_usize()?,
                 });
             }
+            let pending_callbacks = r.get_usize()?;
+            let quarantined_morphs = r.get_usize()?;
+            let has_line = r.get_bool()?;
+            let line = r.get_u64()?;
+            let has_set = r.get_bool()?;
+            let bank_set = (r.get_usize()?, r.get_usize()?);
             Some(DiagnosticSnapshot {
                 cycle,
                 latency,
@@ -310,8 +334,10 @@ impl tako_sim::checkpoint::Snapshot for Watchdog {
                 l2_occupancy,
                 llc_occupancy,
                 mshrs,
-                pending_callbacks: r.get_usize()?,
-                quarantined_morphs: r.get_usize()?,
+                pending_callbacks,
+                quarantined_morphs,
+                blocked_line: has_line.then_some(line),
+                blocked_set: has_set.then_some(bank_set),
             })
         } else {
             None
@@ -375,6 +401,8 @@ mod tests {
             }],
             pending_callbacks: 4,
             quarantined_morphs: 0,
+            blocked_line: Some(0x1440),
+            blocked_set: Some((1, 3)),
         };
         w.attach_snapshot(snap.clone());
         let other = DiagnosticSnapshot {
@@ -387,6 +415,7 @@ mod tests {
         assert!(text.contains("exceeded stall bound 100"));
         assert!(text.contains("2/16 (1 cb)"));
         assert!(text.contains("pending callbacks: 4"));
+        assert!(text.contains("blocked line:  0x1440 (LLC bank 1, set 3)"));
     }
 
     #[test]

@@ -576,3 +576,46 @@ fn interrupts_deliver_to_the_registering_tile_only() {
         "registering tile must get it"
     );
 }
+
+/// A Morph whose onMiss burns a long dataflow chain: the triggering
+/// access is pinned behind the callback (trrîp inserts the engine's
+/// fills at distant priority and the line stays locked), so a tight
+/// stall bound trips the watchdog on the very first phantom miss.
+struct SlowMorph;
+impl Morph for SlowMorph {
+    fn name(&self) -> &str {
+        "slow"
+    }
+    fn on_miss(&mut self, ctx: &mut EngineCtx<'_>) {
+        ctx.alu_chain(&[], 5_000);
+    }
+}
+
+#[test]
+fn stall_snapshot_names_the_blocked_set_and_line() {
+    let mut cfg = SystemConfig::default_16core();
+    cfg.watchdog.stall_cycles = 100;
+    let mut s = TakoSystem::new(cfg);
+    let handle = s
+        .register_phantom(MorphLevel::Shared, 4096, Box::new(SlowMorph))
+        .expect("register");
+    let addr = handle.range().base + 3 * LINE_BYTES;
+    let (_, done) = s.debug_read_u64(2, addr, 0);
+    assert!(done > 100, "callback should stall the access: {done}");
+
+    let hier = s.hierarchy();
+    assert!(hier.watchdog.stall().is_some(), "stall not detected");
+    let snap = hier.watchdog.snapshot().expect("snapshot attached");
+    // The snapshot must name the blocked line and where it lives, not
+    // just that something somewhere stalled.
+    let line = addr & !(LINE_BYTES - 1);
+    assert_eq!(snap.blocked_line, Some(line), "wrong blocked line");
+    let bank = hier.mesh.bank_of_line(line);
+    let set = hier.llc[bank].set_index(line);
+    assert_eq!(snap.blocked_set, Some((bank, set)), "wrong blocked set");
+    let text = snap.to_string();
+    assert!(
+        text.contains(&format!("LLC bank {bank}, set {set}")),
+        "dump must name the blocked set: {text}"
+    );
+}

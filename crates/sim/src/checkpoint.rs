@@ -58,7 +58,9 @@ pub const SNAP_MAGIC: [u8; 8] = *b"TAKOSNP\0";
 /// Version 3: cache tag arrays serialize their structure-of-arrays
 /// storage field-by-field (per-way rrpv/lru/flag planes) instead of the
 /// old per-line record stream.
-pub const SNAP_VERSION: u32 = 3;
+/// Version 4: the watchdog diagnostic snapshot gained the blocked
+/// line and its LLC `(bank, set)` location.
+pub const SNAP_VERSION: u32 = 4;
 
 /// Errors surfaced while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -441,6 +441,17 @@ pub enum ConfigError {
     NoCallbackBuffer,
     /// The per-callback instruction budget is zero.
     NoCallbackBudget,
+    /// The engine admits more concurrent callbacks than its buffer has
+    /// entries. The model checker proves this geometry unsafe at tiny
+    /// bound: nested concurrent callbacks deeper than the buffer
+    /// oversubscribe admission slots, the exact exhaustion the Sec 5.2
+    /// writeback-buffer backpressure argument assumes cannot happen.
+    CallbackBufferOversubscribed {
+        /// Configured `engine.callback_buffer` entries.
+        buffer: u32,
+        /// Configured `engine.max_concurrent_callbacks`.
+        concurrent: u32,
+    },
     /// `checkpoint.every_epochs` is zero (disable checkpointing with
     /// `checkpoint: None` instead).
     ZeroCheckpointInterval,
@@ -487,6 +498,14 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NoCallbackBudget => {
                 write!(f, "callback instruction budget is zero")
+            }
+            ConfigError::CallbackBufferOversubscribed { buffer, concurrent } => {
+                write!(
+                    f,
+                    "engine admits {concurrent} concurrent callbacks but the \
+                     callback buffer has only {buffer} entries; nested \
+                     callbacks would oversubscribe admission slots"
+                )
             }
             ConfigError::ZeroCheckpointInterval => {
                 write!(
@@ -631,6 +650,12 @@ impl SystemConfig {
         }
         if self.engine.callback_instr_budget == 0 {
             return Err(ConfigError::NoCallbackBudget);
+        }
+        if self.engine.max_concurrent_callbacks > self.engine.callback_buffer {
+            return Err(ConfigError::CallbackBufferOversubscribed {
+                buffer: self.engine.callback_buffer,
+                concurrent: self.engine.max_concurrent_callbacks,
+            });
         }
         if let Some(ckpt) = &self.checkpoint {
             if ckpt.every_epochs == 0 {
@@ -783,6 +808,17 @@ mod tests {
         assert_eq!(cfg.validate(), Err(ConfigError::NoCallbackBudget));
 
         let mut cfg = base();
+        cfg.engine.callback_buffer = 2;
+        cfg.engine.max_concurrent_callbacks = 4;
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::CallbackBufferOversubscribed {
+                buffer: 2,
+                concurrent: 4
+            })
+        );
+
+        let mut cfg = base();
         cfg.checkpoint = Some(CheckpointConfig { every_epochs: 0 });
         assert_eq!(cfg.validate(), Err(ConfigError::ZeroCheckpointInterval));
 
@@ -813,6 +849,38 @@ mod tests {
         });
         cfg.faults = Some(plan);
         assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn callback_buffer_admission_bound() {
+        // The default geometry (buffer == concurrency == 8) is legal,
+        // as is any buffer at least as deep as the admission bound.
+        let mut cfg = SystemConfig::default_16core();
+        assert_eq!(
+            cfg.engine.callback_buffer,
+            cfg.engine.max_concurrent_callbacks
+        );
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.engine.callback_buffer = 16;
+        assert_eq!(cfg.validate(), Ok(()));
+
+        // One admission more than the buffer holds is the exhaustion
+        // the checker exercises; the error must name both numbers.
+        cfg.engine.callback_buffer = 8;
+        cfg.engine.max_concurrent_callbacks = 9;
+        let err = cfg.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CallbackBufferOversubscribed {
+                buffer: 8,
+                concurrent: 9
+            }
+        );
+        let msg = err.to_string();
+        assert!(
+            msg.contains('9') && msg.contains('8'),
+            "undescriptive: {msg}"
+        );
     }
 
     #[test]

@@ -36,6 +36,24 @@ cargo doc --workspace --no-deps -q
 echo "==> fault_campaign smoke"
 ./target/release/fault_campaign --scale 0.25 --scenarios 6
 
+# Protocol model-checker smoke: exhaust the tiny 2-tile bounded state
+# space to depth 2 for all four Morph families (must be clean), replay
+# every committed counterexample in crates/bench/regressions/ (each
+# recorded violation must still reproduce), and arm the illegal-action
+# mutant, which every family must catch and shrink to <= 8 steps.
+# Takes ~5s with 4 workers; the report is byte-identical at any
+# --jobs count.
+echo "==> protocol_check smoke"
+./target/release/protocol_check --depth 2 --jobs 4
+for cex in crates/bench/regressions/*.takocex; do
+  ./target/release/protocol_check --replay "$cex"
+done
+MUTDIR=$(mktemp -d)
+./target/release/protocol_check --mutant --depth 2 --jobs 4 \
+    --write-cex "$MUTDIR/mutant.takocex"
+./target/release/protocol_check --replay "$MUTDIR/mutant.takocex"
+rm -rf "$MUTDIR"
+
 # Interrupt/resume smoke: journal a campaign, crash every experiment
 # after two checkpointed units, resume it, and require the resumed
 # output byte-identical to a clean (unjournaled) run. Timing lines
