@@ -32,6 +32,11 @@
 //! --checkpoint-every <n>    sync the unit journal every n units
 //! --crash-after-units <n>   die after n journaled units (the
 //!                           interrupt/resume smoke's crash hook)
+//! --io-faults <plan>        run the journal on the fault-injecting
+//!                           storage backend; plan is
+//!                           `seed:kind[:count]` with kind one of
+//!                           crash, crash-after, torn, drop-rename,
+//!                           dup-append, flip, transient, permanent
 //! ```
 //!
 //! The printed experiment output is byte-identical for every `--jobs`
@@ -39,12 +44,14 @@
 //! was interrupted and resumed; only the timing annotations and the
 //! JSON report vary.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tako_bench::campaign::{run_campaign, CampaignOpts};
 use tako_bench::{
     run_all, run_all_catch, validate_base_config, warn_unknown, ExperimentResult, Opts, EXPERIMENTS,
 };
+use tako_sim::storage::{DiskStorage, FaultStorage, IoFaultPlan, Storage};
 
 /// Flags specific to this binary, parsed from the leftovers of
 /// [`Opts::parse`].
@@ -60,6 +67,7 @@ struct BenchFlags {
     retries: u32,
     checkpoint_every: u64,
     crash_after_units: Option<u64>,
+    io_faults: Option<IoFaultPlan>,
 }
 
 fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
@@ -75,6 +83,7 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
         retries: 0,
         checkpoint_every: 1,
         crash_after_units: None,
+        io_faults: None,
     };
     let mut rest = Vec::new();
     let mut i = 0;
@@ -152,6 +161,20 @@ fn parse_bench_flags(unknown: Vec<String>) -> BenchFlags {
                     eprintln!("warning: --crash-after-units needs a count");
                 }
             }
+            "--io-faults" => {
+                if let Some(v) = unknown.get(i + 1) {
+                    match IoFaultPlan::parse(v) {
+                        Ok(plan) => flags.io_faults = Some(plan),
+                        Err(e) => {
+                            eprintln!("error: --io-faults {v}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                    i += 1;
+                } else {
+                    eprintln!("warning: --io-faults needs seed:kind[:count]");
+                }
+            }
             other => rest.push(other.to_string()),
         }
         i += 1;
@@ -178,6 +201,10 @@ fn main() {
 
     let t0 = Instant::now();
     let results: Vec<(&str, Result<ExperimentResult, String>)> = if let Some(dir) = &flags.journal {
+        let storage: Arc<dyn Storage> = match flags.io_faults.clone() {
+            Some(plan) => Arc::new(FaultStorage::new(Arc::new(DiskStorage::new()), plan)),
+            None => Arc::new(DiskStorage::new()),
+        };
         let c = CampaignOpts {
             dir: dir.into(),
             resume: flags.resume,
@@ -186,6 +213,7 @@ fn main() {
             checkpoint_every: flags.checkpoint_every,
             force_panic: flags.force_panic.clone(),
             crash_after_units: flags.crash_after_units,
+            storage,
         };
         match run_campaign(opts, &c, EXPERIMENTS) {
             Ok(outcome) => {
@@ -193,6 +221,9 @@ fn main() {
                     "campaign: {} replayed from journal, {} attempts executed",
                     outcome.replayed, outcome.attempts
                 );
+                if !outcome.io.is_clean() {
+                    eprintln!("campaign: storage degraded: {}", outcome.io);
+                }
                 outcome.results
             }
             Err(e) => {
@@ -233,9 +264,15 @@ fn main() {
     } else {
         None
     };
+    // Reports are evidence: write them atomically so a crash mid-write
+    // can't leave a half-formed file masquerading as a real one.
+    let report_store = DiskStorage::new();
     if let Some(report) = &trace_report {
         if let Some(path) = &flags.trace_out {
-            match std::fs::write(path, report.chrome_trace_json()) {
+            match report_store.write_atomic(
+                std::path::Path::new(path),
+                report.chrome_trace_json().as_bytes(),
+            ) {
                 Ok(()) => eprintln!(
                     "wrote {path} ({} trace events, {} interval samples, {} systems)",
                     report.events.len(),
@@ -250,7 +287,7 @@ fn main() {
         }
         if let Some(dir) = &flags.journal {
             let path = std::path::Path::new(dir).join("metrics.json");
-            match std::fs::write(&path, report.metrics_json()) {
+            match report_store.write_atomic(&path, report.metrics_json().as_bytes()) {
                 Ok(()) => eprintln!("wrote {}", path.display()),
                 Err(e) => eprintln!("error: writing {}: {e}", path.display()),
             }
@@ -278,7 +315,7 @@ fn main() {
             &succeeded,
             trace_report.as_ref(),
         );
-        match std::fs::write(&path, json) {
+        match report_store.write_atomic(std::path::Path::new(&path), json.as_bytes()) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("error: writing {path}: {e}"),
         }

@@ -1,0 +1,87 @@
+//! `tako_fsck` — the campaign-journal doctor.
+//!
+//! ```text
+//! tako_fsck --scan <dir>     classify every file, print verdicts
+//! tako_fsck --verify <dir>   scan; exit 1 if anything is flagged
+//! tako_fsck --repair <dir>   truncate torn unit journals to their
+//!                            longest valid prefix, quarantine corrupt
+//!                            envelopes/manifest into <dir>/quarantine/
+//!                            (with a report.txt), delete .tmp debris
+//! ```
+//!
+//! See `tako_bench::doctor` for what each verdict means. Repair is
+//! idempotent and never destroys payload bytes: everything it cannot
+//! keep in place lands in the quarantine directory.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use tako_bench::doctor;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: tako_fsck --scan|--verify|--repair <journal-dir>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [mode, dir] = args.as_slice() else {
+        return usage();
+    };
+    let dir = Path::new(dir);
+    if !dir.is_dir() {
+        eprintln!("tako_fsck: {} is not a directory", dir.display());
+        return ExitCode::from(2);
+    }
+    match mode.as_str() {
+        "--scan" => match doctor::scan(dir) {
+            Ok(report) => {
+                print!("{}", report.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tako_fsck: scan {}: {e}", dir.display());
+                ExitCode::from(2)
+            }
+        },
+        "--verify" => match doctor::scan(dir) {
+            Ok(report) => {
+                print!("{}", report.render());
+                if report.flagged() == 0 {
+                    println!("verify: journal clean");
+                    ExitCode::SUCCESS
+                } else {
+                    println!("verify: {} files flagged", report.flagged());
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("tako_fsck: verify {}: {e}", dir.display());
+                ExitCode::from(2)
+            }
+        },
+        "--repair" => match doctor::repair(dir) {
+            Ok(summary) => {
+                if summary.untouched() {
+                    println!("repair: journal clean, nothing to do");
+                } else {
+                    for p in &summary.quarantined {
+                        println!("repair: quarantined {}", p.display());
+                    }
+                    for (p, len) in &summary.truncated {
+                        println!("repair: truncated {} to {len} bytes", p.display());
+                    }
+                    for p in &summary.removed {
+                        println!("repair: removed debris {}", p.display());
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("tako_fsck: repair {}: {e}", dir.display());
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

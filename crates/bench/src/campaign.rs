@@ -5,17 +5,22 @@
 //! The journal directory holds:
 //!
 //! * `manifest.txt` — the campaign parameters (scale/paper/seed and the
-//!   experiment list). A resume into a differently parameterized
-//!   campaign is rejected before anything runs.
+//!   experiment list), a generation number bumped by every invocation
+//!   that touches the journal, and a trailing content checksum. A
+//!   resume into a differently parameterized campaign is rejected
+//!   before anything runs; a corrupt manifest is refused with a
+//!   pointer at `tako_fsck --repair`.
 //! * `<name>.done` — one versioned, checksummed record per completed
-//!   experiment: its full printed output and wall time. Resume replays
-//!   these verbatim instead of re-running (the output contract is
-//!   byte-identical either way).
-//! * `<name>.units` — in-experiment checkpoints: every completed
-//!   [`run_variants`](crate::run_variants) unit (one simulated variant)
-//!   is appended as a self-checking record. An interrupted experiment
-//!   resumes *mid-run*: completed units replay bit-exactly, only the
-//!   remainder simulates.
+//!   experiment: its full printed output, wall time, and the campaign
+//!   fingerprint it belongs to. Resume replays these verbatim instead
+//!   of re-running (the output contract is byte-identical either way);
+//!   a record that fails its checksum or names a different campaign is
+//!   ignored and the experiment re-runs.
+//! * `<name>.units` — in-experiment checkpoints: a fingerprinted
+//!   header followed by one self-checking record per completed
+//!   [`run_variants`](crate::run_variants) unit. An interrupted
+//!   experiment resumes *mid-run*: completed units replay bit-exactly,
+//!   only the remainder simulates.
 //! * `<name>.triage.txt` — written when an attempt dies (panic or
 //!   deadline kill): the panic payload — which for a deadline kill is
 //!   the hierarchy's triage bundle (diagnostic snapshot, fault-plan
@@ -24,11 +29,24 @@
 //! * `attempts.log` — one line per attempt with its outcome and the
 //!   deterministic backoff that preceded it.
 //!
+//! **Every durable write goes through [`tako_sim::storage`]**: whole
+//! files are written atomically (temp + sync + rename), appends carry
+//! per-record checksums, and the fault-injecting backend can crash the
+//! campaign at any I/O site — the crash-point sweep (`crash_campaign`)
+//! proves that resume from *every* such crash reproduces the
+//! uninterrupted run's output byte-for-byte. Failures that classify as
+//! *transient* (interrupted syscall, timeout, resource pressure) are
+//! retried in place at every campaign-level I/O site; only failures
+//! that outlive the retry budget surface.
+//!
 //! Failed experiments are retried up to `--retries` times with bounded
 //! exponential backoff. The schedule is *seeded and deterministic*:
 //! derived from the campaign seed, the experiment name, and the attempt
 //! number, never from wall-clock state, so a re-run of the same failing
-//! campaign produces the same journaled schedule.
+//! campaign produces the same journaled schedule. Retries apply only to
+//! failures that might go away: an attempt that died on a *permanent*
+//! storage error (see [`tako_sim::storage::IoClass`]) is reported
+//! immediately instead of burning the backoff schedule.
 //!
 //! Deadlines ride the watchdog: the worker arms
 //! [`tako_sim::supervise`] before entering the experiment, and the
@@ -39,15 +57,18 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Write as _};
+use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tako_sim::checkpoint::{decode, encode, Record, SnapError, SnapReader, SnapWriter, Snapshot};
 use tako_sim::digest::Sha256;
 use tako_sim::parallel::parallel_map_catch;
 use tako_sim::rng::Rng;
+use tako_sim::storage::{
+    classify, DiskStorage, IoClass, IoHealth, Storage, CRASH_MARKER, PERMANENT_MARKER,
+};
 use tako_sim::supervise;
 
 use crate::{Experiment, ExperimentResult, Opts};
@@ -57,13 +78,21 @@ use crate::{Experiment, ExperimentResult, Opts};
 // ---------------------------------------------------------------------
 
 /// Per-record magic for the append-only unit file ("UNT1").
-const UNIT_MAGIC: [u8; 4] = *b"UNT1";
+pub(crate) const UNIT_MAGIC: [u8; 4] = *b"UNT1";
+
+/// Header magic of a unit journal ("UJH1"), followed by the campaign
+/// fingerprint. A journal whose header names a different campaign is
+/// discarded wholesale instead of replaying foreign units.
+pub(crate) const UNIT_HEADER_MAGIC: [u8; 4] = *b"UJH1";
+
+/// Size of the unit-journal header: magic + fingerprint.
+pub(crate) const UNIT_HEADER_LEN: usize = 4 + 8;
 
 struct UnitJournal {
     /// Completed units from a previous attempt, keyed by
     /// (run_variants call sequence within the experiment, variant index).
     replay: HashMap<(u64, u64), Vec<u8>>,
-    file: Option<File>,
+    storage: Arc<dyn Storage>,
     path: PathBuf,
     next_call: u64,
     pending: u64,
@@ -104,10 +133,13 @@ impl Drop for UnitScope {
     }
 }
 
-/// Arm the calling thread's unit journal on `path`, replaying any
-/// complete records a previous attempt left there. `flush_every` is the
-/// `--checkpoint-every` cadence: how many fresh units may sit in OS
-/// buffers before the file is synced.
+/// Arm the calling thread's unit journal on `path` under `storage`,
+/// replaying any complete records a previous attempt left there.
+/// `flush_every` is the `--checkpoint-every` cadence: how many fresh
+/// units may sit in OS buffers before the file is synced.
+/// `fingerprint` identifies the campaign; a journal written by a
+/// different campaign (or with no header at all) is discarded instead
+/// of replayed.
 ///
 /// # Errors
 ///
@@ -115,28 +147,37 @@ impl Drop for UnitScope {
 /// *corrupt or truncated tail* is not an error: it is the expected
 /// debris of a crash and is discarded (the file is truncated to the
 /// last intact record).
-pub fn unit_journal(path: &Path, flush_every: u64) -> std::io::Result<UnitScope> {
+pub fn unit_journal(
+    storage: Arc<dyn Storage>,
+    path: &Path,
+    flush_every: u64,
+    fingerprint: u64,
+) -> std::io::Result<UnitScope> {
     let mut replay = HashMap::new();
-    let mut intact = 0u64;
-    if let Ok(mut f) = File::open(path) {
-        let mut buf = Vec::new();
-        f.read_to_end(&mut buf)?;
-        let mut at = 0usize;
-        while let Some((call, idx, payload, next)) = read_unit(&buf, at) {
-            replay.insert((call, idx), payload);
-            at = next;
+    if storage.exists(path) {
+        let buf = retrying(|| storage.read(path))?;
+        let mut intact = 0u64;
+        if let Some(rest) = unit_header_matches(&buf, fingerprint) {
+            let mut at = 0usize;
+            while let Some((call, idx, payload, next)) = read_unit(rest, at) {
+                replay.insert((call, idx), payload);
+                at = next;
+            }
+            intact = (UNIT_HEADER_LEN + at) as u64;
         }
-        intact = at as u64;
-    }
-    if path.exists() {
-        // Drop the crash tail so appends start at a record boundary.
-        let f = OpenOptions::new().write(true).open(path)?;
-        f.set_len(intact)?;
+        // Drop the crash tail (or an entire foreign/headerless journal)
+        // so appends start at a record boundary.
+        retrying(|| storage.truncate(path, intact))?;
+        if intact == 0 {
+            retrying(|| storage.append(path, &unit_header(fingerprint)))?;
+        }
+    } else {
+        retrying(|| storage.append(path, &unit_header(fingerprint)))?;
     }
     JOURNAL.with(|j| {
         *j.borrow_mut() = Some(UnitJournal {
             replay,
-            file: None,
+            storage,
             path: path.to_path_buf(),
             next_call: 0,
             pending: 0,
@@ -147,9 +188,30 @@ pub fn unit_journal(path: &Path, flush_every: u64) -> std::io::Result<UnitScope>
     Ok(UnitScope(()))
 }
 
+/// Render a unit-journal header for `fingerprint`.
+fn unit_header(fingerprint: u64) -> Vec<u8> {
+    let mut h = Vec::with_capacity(UNIT_HEADER_LEN);
+    h.extend_from_slice(&UNIT_HEADER_MAGIC);
+    h.extend_from_slice(&fingerprint.to_le_bytes());
+    h
+}
+
+/// If `buf` starts with a valid header for `fingerprint`, return the
+/// record bytes after it.
+pub(crate) fn unit_header_matches(buf: &[u8], fingerprint: u64) -> Option<&[u8]> {
+    if buf.len() < UNIT_HEADER_LEN || buf[..4] != UNIT_HEADER_MAGIC {
+        return None;
+    }
+    let fp = u64::from_le_bytes(buf[4..12].try_into().ok()?);
+    if fp != fingerprint {
+        return None;
+    }
+    Some(&buf[UNIT_HEADER_LEN..])
+}
+
 /// Parse one unit record at `at`; `None` on truncation or corruption
 /// (the reader stops there and the tail is discarded).
-fn read_unit(buf: &[u8], at: usize) -> Option<(u64, u64, Vec<u8>, usize)> {
+pub(crate) fn read_unit(buf: &[u8], at: usize) -> Option<(u64, u64, Vec<u8>, usize)> {
     let hdr = 4 + 8 + 8 + 8;
     if buf.len() < at + hdr {
         return None;
@@ -160,7 +222,7 @@ fn read_unit(buf: &[u8], at: usize) -> Option<(u64, u64, Vec<u8>, usize)> {
     let g = |o: usize| u64::from_le_bytes(buf[at + o..at + o + 8].try_into().unwrap());
     let (call, idx, len) = (g(4), g(12), g(20) as usize);
     let start = at + hdr;
-    if buf.len() < start + len + 8 {
+    if buf.len() < start + len || buf.len() - start - len < 8 {
         return None;
     }
     let payload = &buf[start..start + len];
@@ -205,6 +267,12 @@ pub(crate) fn replay_unit<R: Record>(call: u64, idx: u64) -> Option<R> {
 
 /// Append a completed unit to the journal and note it as the
 /// experiment's most recent checkpoint (named in deadline triage).
+///
+/// A *transient* append failure is retried in place; if it persists,
+/// checkpointing degrades (the unit will recompute on resume) but the
+/// simulation continues. A *permanent* failure aborts the attempt with
+/// a [`PERMANENT_MARKER`] panic, which the campaign runner reports
+/// without retrying.
 pub(crate) fn record_unit<R: Record>(call: u64, idx: u64, value: &R) {
     let mut w = SnapWriter::new();
     value.record(&mut w);
@@ -219,19 +287,24 @@ pub(crate) fn record_unit<R: Record>(call: u64, idx: u64, value: &R) {
         rec.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         rec.extend_from_slice(&payload);
         rec.extend_from_slice(&unit_checksum(&payload).to_le_bytes());
-        if j.file.is_none() {
-            j.file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&j.path)
-                .ok();
-        }
-        if let Some(f) = &mut j.file {
-            let _ = f.write_all(&rec);
-            j.pending += 1;
-            if j.pending >= j.flush_every {
-                let _ = f.sync_data();
-                j.pending = 0;
+        match retrying(|| j.storage.append(&j.path, &rec)) {
+            Ok(()) => {
+                j.pending += 1;
+                if j.pending >= j.flush_every {
+                    // A failed sync is at worst a lost checkpoint; the
+                    // backend has already classified and counted it.
+                    let _ = j.storage.sync(&j.path);
+                    j.pending = 0;
+                }
+            }
+            Err(e) => {
+                if classify(&e) == IoClass::Permanent {
+                    panic!(
+                        "{PERMANENT_MARKER} unit journal append to {}: {e}",
+                        j.path.display()
+                    );
+                }
+                // Transient: checkpointing degraded, simulation goes on.
             }
         }
         match &mut j.crash_after {
@@ -268,7 +341,7 @@ pub fn crash_after_units(n: u64) {
 // ---------------------------------------------------------------------
 
 /// Options for a supervised, journaled campaign.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CampaignOpts {
     /// Journal directory.
     pub dir: PathBuf,
@@ -289,11 +362,30 @@ pub struct CampaignOpts {
     /// Die after this many journaled units in each experiment that
     /// runs (test hook behind `--crash-after-units`).
     pub crash_after_units: Option<u64>,
+    /// The persistence backend every journal byte flows through. The
+    /// default is the real filesystem; the crash-point sweep passes a
+    /// [`tako_sim::storage::FaultStorage`].
+    pub storage: Arc<dyn Storage>,
+}
+
+impl fmt::Debug for CampaignOpts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CampaignOpts")
+            .field("dir", &self.dir)
+            .field("resume", &self.resume)
+            .field("deadline", &self.deadline)
+            .field("retries", &self.retries)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("force_panic", &self.force_panic)
+            .field("crash_after_units", &self.crash_after_units)
+            .finish_non_exhaustive()
+    }
 }
 
 impl CampaignOpts {
     /// A campaign journaling into `dir` with everything else default:
-    /// fresh (no resume), no deadline, no retries, sync every unit.
+    /// fresh (no resume), no deadline, no retries, sync every unit,
+    /// real-filesystem storage.
     pub fn fresh(dir: impl Into<PathBuf>) -> Self {
         CampaignOpts {
             dir: dir.into(),
@@ -303,6 +395,7 @@ impl CampaignOpts {
             checkpoint_every: 1,
             force_panic: None,
             crash_after_units: None,
+            storage: Arc::new(DiskStorage::new()),
         }
     }
 }
@@ -317,15 +410,23 @@ pub struct CampaignOutcome {
     pub replayed: usize,
     /// Attempts actually executed (first tries + retries).
     pub attempts: u64,
+    /// The storage backend's failure tally for this run —
+    /// transient-vs-permanent I/O degradation, surfaced in the
+    /// campaign status line.
+    pub io: IoHealth,
 }
 
 /// One completed experiment, journaled as a `.done` envelope.
 #[derive(Default)]
-struct DoneRecord {
-    name: String,
-    output: String,
-    wall_nanos: u64,
-    attempt: u32,
+pub(crate) struct DoneRecord {
+    pub(crate) name: String,
+    pub(crate) output: String,
+    pub(crate) wall_nanos: u64,
+    pub(crate) attempt: u32,
+    /// The campaign this record belongs to; a mismatch (stale journal
+    /// dir, skewed manifest) means the record is ignored and the
+    /// experiment re-runs rather than replaying foreign output.
+    pub(crate) fingerprint: u64,
 }
 
 impl Snapshot for DoneRecord {
@@ -335,6 +436,7 @@ impl Snapshot for DoneRecord {
         w.put_str(&self.output);
         w.put_u64(self.wall_nanos);
         w.put_u32(self.attempt);
+        w.put_u64(self.fingerprint);
     }
     fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         r.section("done")?;
@@ -342,11 +444,12 @@ impl Snapshot for DoneRecord {
         self.output = r.get_str()?;
         self.wall_nanos = r.get_u64()?;
         self.attempt = r.get_u32()?;
+        self.fingerprint = r.get_u64()?;
         Ok(())
     }
 }
 
-fn manifest_text(opts: Opts, experiments: &[(&'static str, Experiment)]) -> String {
+fn manifest_params(opts: Opts, experiments: &[(&'static str, Experiment)]) -> String {
     let names: Vec<&str> = experiments.iter().map(|(n, _)| *n).collect();
     format!(
         "scale={}\npaper={}\nseed={}\nexperiments={}\n",
@@ -355,6 +458,56 @@ fn manifest_text(opts: Opts, experiments: &[(&'static str, Experiment)]) -> Stri
         opts.seed,
         names.join(",")
     )
+}
+
+/// The campaign fingerprint: FNV-1a of the manifest parameter block.
+/// Stamped into every `.done` record and unit-journal header so the
+/// records are self-describing even if the manifest is lost.
+pub fn campaign_fingerprint(params: &str) -> u64 {
+    name_hash(params)
+}
+
+/// Render a full manifest: parameters, generation, content checksum.
+fn render_manifest(params: &str, generation: u64) -> String {
+    let body = format!("{params}generation={generation}\n");
+    let mut h = Sha256::new();
+    h.update(body.as_bytes());
+    let sum = &h.finish_hex()[..16];
+    format!("{body}checksum={sum}\n")
+}
+
+/// What a manifest on disk turned out to be.
+pub(crate) enum ManifestState {
+    /// Valid, with its parameter block and generation.
+    Valid { params: String, generation: u64 },
+    /// Present but failing its checksum or structurally unparseable.
+    Corrupt(String),
+}
+
+/// Parse and verify a manifest file's content.
+pub(crate) fn parse_manifest(text: &str) -> ManifestState {
+    let Some((body, tail)) = text.rsplit_once("checksum=") else {
+        return ManifestState::Corrupt("missing checksum line".into());
+    };
+    let mut h = Sha256::new();
+    h.update(body.as_bytes());
+    let want = &h.finish_hex()[..16];
+    if tail.trim() != want {
+        return ManifestState::Corrupt(format!(
+            "checksum mismatch: recorded {}, content hashes to {want}",
+            tail.trim()
+        ));
+    }
+    let Some((params, gen_line)) = body.rsplit_once("generation=") else {
+        return ManifestState::Corrupt("missing generation line".into());
+    };
+    match gen_line.trim().parse::<u64>() {
+        Ok(generation) => ManifestState::Valid {
+            params: params.to_string(),
+            generation,
+        },
+        Err(_) => ManifestState::Corrupt(format!("bad generation `{}`", gen_line.trim())),
+    }
 }
 
 /// FNV-1a of an experiment name, for the per-experiment backoff seed.
@@ -397,69 +550,147 @@ fn resume_cmdline(opts: Opts, c: &CampaignOpts) -> String {
     s
 }
 
-fn append_line(path: &Path, line: &str) {
-    if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
-        let _ = writeln!(f, "{line}");
+fn append_line(storage: &dyn Storage, path: &Path, line: &str) {
+    let _ = retrying(|| storage.append(path, format!("{line}\n").as_bytes()));
+}
+
+/// Retry budget for transient I/O failures at campaign-level sites.
+const TRANSIENT_IO_RETRIES: u32 = 3;
+
+/// Run `op`, retrying immediately on failures that classify as
+/// *transient* (interrupted syscall, timeout, resource pressure).
+/// Permanent failures propagate on first sight — retrying corrupt data
+/// or a missing file only burns time. No sleep is needed: a transient
+/// condition is one that clears on re-issue, and the fault-injecting
+/// backend models exactly that (its op cursor has moved past the
+/// injected site by the time the retry runs).
+fn retrying<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < TRANSIENT_IO_RETRIES && classify(&e) == IoClass::Transient => {
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
     }
 }
 
-/// Atomically (tmp + rename) write `bytes` to `path`, so a crash during
-/// the write can never leave a half-record that later reads as done.
-fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes)?;
-    std::fs::rename(&tmp, path)
+/// Prepare the manifest for this invocation and return the campaign
+/// fingerprint. Fresh campaigns clear stale records; resumes verify
+/// the parameters and bump the generation. A resume whose manifest
+/// vanished (e.g. quarantined by `tako_fsck`) proceeds on the strength
+/// of the per-record fingerprints and rewrites the manifest.
+fn prepare_manifest(
+    opts: Opts,
+    c: &CampaignOpts,
+    experiments: &[(&'static str, Experiment)],
+) -> std::io::Result<u64> {
+    let manifest_path = c.dir.join("manifest.txt");
+    let params = manifest_params(opts, experiments);
+    let fingerprint = campaign_fingerprint(&params);
+    if c.resume {
+        let generation = if c.storage.exists(&manifest_path) {
+            let text =
+                String::from_utf8_lossy(&retrying(|| c.storage.read(&manifest_path))?).into_owned();
+            match parse_manifest(&text) {
+                ManifestState::Valid {
+                    params: prior,
+                    generation,
+                } => {
+                    if prior != params {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            format!(
+                                "--resume into a different campaign: journal has\n{prior}\
+                                 but this invocation is\n{params}"
+                            ),
+                        ));
+                    }
+                    generation
+                }
+                ManifestState::Corrupt(why) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "campaign manifest {} is corrupt ({why}); \
+                             run `tako_fsck --repair {}` to quarantine it, then resume",
+                            manifest_path.display(),
+                            c.dir.display()
+                        ),
+                    ));
+                }
+            }
+        } else {
+            // Manifest lost (crash before it landed, or quarantined).
+            // The .done/.units records carry the fingerprint, so resume
+            // is still safe; restore the manifest for the next reader.
+            0
+        };
+        retrying(|| {
+            c.storage.write_atomic(
+                &manifest_path,
+                render_manifest(&params, generation + 1).as_bytes(),
+            )
+        })?;
+    } else {
+        // Fresh campaign: clear any stale records so nothing replays.
+        for (name, _) in experiments {
+            for ext in ["done", "units", "triage.txt"] {
+                let stale = c.dir.join(format!("{name}.{ext}"));
+                retrying(|| c.storage.remove(&stale))?;
+            }
+        }
+        retrying(|| c.storage.remove(&c.dir.join("attempts.log")))?;
+        retrying(|| {
+            c.storage
+                .write_atomic(&manifest_path, render_manifest(&params, 1).as_bytes())
+        })?;
+    }
+    Ok(fingerprint)
 }
 
 /// Run `experiments` as a supervised, journaled campaign.
 ///
 /// # Errors
 ///
-/// I/O errors on the journal directory, and a manifest mismatch when
-/// resuming into a campaign run with different parameters. Individual
+/// I/O errors on the journal directory, a manifest mismatch when
+/// resuming into a campaign run with different parameters, and a
+/// corrupt manifest (pointer at `tako_fsck --repair`). Individual
 /// experiment failures are *not* errors: they are journaled, retried,
 /// and reported per-experiment in the outcome.
+///
+/// # Panics
+///
+/// Re-raises an injected storage crash ([`CRASH_MARKER`]) so a
+/// simulated power loss behaves like one: nothing after the crashed
+/// I/O site executes. The crash-point sweep catches it and resumes.
 pub fn run_campaign(
     opts: Opts,
     c: &CampaignOpts,
     experiments: &[(&'static str, Experiment)],
 ) -> std::io::Result<CampaignOutcome> {
     std::fs::create_dir_all(&c.dir)?;
-    let manifest_path = c.dir.join("manifest.txt");
-    let manifest = manifest_text(opts, experiments);
-    if c.resume && manifest_path.exists() {
-        let prior = std::fs::read_to_string(&manifest_path)?;
-        if prior != manifest {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!(
-                    "--resume into a different campaign: journal has\n{prior}\
-                     but this invocation is\n{manifest}"
-                ),
-            ));
-        }
-    } else {
-        // Fresh campaign: clear any stale records so nothing replays.
-        for (name, _) in experiments {
-            for ext in ["done", "units", "triage.txt"] {
-                let _ = std::fs::remove_file(c.dir.join(format!("{name}.{ext}")));
-            }
-        }
-        let _ = std::fs::remove_file(c.dir.join("attempts.log"));
-        write_atomic(&manifest_path, manifest.as_bytes())?;
-    }
+    let fingerprint = prepare_manifest(opts, c, experiments)?;
 
     let mut results: Vec<(&'static str, Result<ExperimentResult, String>)> = Vec::new();
     let mut todo: Vec<(&'static str, Experiment)> = Vec::new();
     let mut replayed = 0usize;
     for &(name, f) in experiments {
         let done_path = c.dir.join(format!("{name}.done"));
-        let rec = std::fs::read(&done_path).ok().and_then(|bytes| {
-            let mut rec = DoneRecord::default();
-            decode(&bytes, &mut rec).ok().map(|()| rec)
-        });
+        let rec = if c.storage.exists(&done_path) {
+            retrying(|| c.storage.read(&done_path))
+                .ok()
+                .and_then(|bytes| {
+                    let mut rec = DoneRecord::default();
+                    decode(&bytes, &mut rec).ok().map(|()| rec)
+                })
+        } else {
+            None
+        };
         match rec {
-            Some(rec) if rec.name == name => {
+            Some(rec) if rec.name == name && rec.fingerprint == fingerprint => {
                 replayed += 1;
                 results.push((
                     name,
@@ -492,7 +723,11 @@ pub fn run_campaign(
             let mut wait = 0u64;
             for (name, _) in &todo {
                 let b = backoff_ms(opts.seed, name, attempt);
-                append_line(&log, &format!("{name} attempt={attempt} backoff_ms={b}"));
+                append_line(
+                    c.storage.as_ref(),
+                    &log,
+                    &format!("{name} attempt={attempt} backoff_ms={b}"),
+                );
                 wait = wait.max(b);
             }
             std::thread::sleep(Duration::from_millis(wait));
@@ -506,14 +741,28 @@ pub fn run_campaign(
         let dir = c.dir.clone();
         let deadline = c.deadline;
         let every = c.checkpoint_every;
+        let storage = Arc::clone(&c.storage);
         let crash = if attempt == 1 {
             c.crash_after_units
         } else {
             None
         };
         let batch = parallel_map_catch(opts.jobs, todo.clone(), move |_, (name, f)| {
-            let _units =
-                unit_journal(&dir.join(format!("{name}.units")), every).expect("unit journal");
+            let units_path = dir.join(format!("{name}.units"));
+            let _units = unit_journal(Arc::clone(&storage), &units_path, every, fingerprint)
+                .unwrap_or_else(|e| {
+                    // Carry the classification into the panic payload so
+                    // the runner suppresses retries iff the failure is
+                    // permanent (transient ones already got their
+                    // in-place retries and may clear by the next wave).
+                    if classify(&e) == IoClass::Permanent {
+                        panic!(
+                            "{PERMANENT_MARKER} unit journal open {}: {e}",
+                            units_path.display()
+                        );
+                    }
+                    panic!("unit journal open {}: {e}", units_path.display());
+                });
             if let Some(n) = crash {
                 crash_after_units(n);
             }
@@ -539,14 +788,32 @@ pub fn run_campaign(
                         output: res.output.clone(),
                         wall_nanos: res.wall.as_nanos() as u64,
                         attempt,
+                        fingerprint,
                     };
-                    write_atomic(&c.dir.join(format!("{name}.done")), &encode(&rec))?;
-                    append_line(&log, &format!("{name} attempt={attempt} outcome=ok"));
+                    let done_path = c.dir.join(format!("{name}.done"));
+                    retrying(|| c.storage.write_atomic(&done_path, &encode(&rec)))?;
+                    append_line(
+                        c.storage.as_ref(),
+                        &log,
+                        &format!("{name} attempt={attempt} outcome=ok"),
+                    );
                     let slot = results.iter_mut().find(|(n, _)| *n == name).unwrap();
                     slot.1 = Ok(res);
                 }
+                Err(msg) if msg.contains(CRASH_MARKER) => {
+                    // An injected storage crash is a simulated power
+                    // loss: the process is gone, nothing else runs.
+                    // Re-raise so the sweep harness sees a dead
+                    // campaign, not a tidy failure report.
+                    std::panic::panic_any(msg);
+                }
                 Err(msg) => {
-                    let units = units_on_disk(&c.dir.join(format!("{name}.units")));
+                    let permanent = msg.contains(PERMANENT_MARKER);
+                    let units = units_on_disk(
+                        c.storage.as_ref(),
+                        &c.dir.join(format!("{name}.units")),
+                        fingerprint,
+                    );
                     let triage = format!(
                         "experiment: {name}\nattempt: {attempt} of {}\n\
                          journaled units: {units}\n--- failure ---\n{msg}\n\
@@ -554,11 +821,33 @@ pub fn run_campaign(
                         1 + c.retries,
                         resume_cmdline(opts, c),
                     );
-                    write_atomic(&c.dir.join(format!("{name}.triage.txt")), triage.as_bytes())?;
-                    append_line(&log, &format!("{name} attempt={attempt} outcome=failed"));
+                    let triage_path = c.dir.join(format!("{name}.triage.txt"));
+                    retrying(|| c.storage.write_atomic(&triage_path, triage.as_bytes()))?;
+                    append_line(
+                        c.storage.as_ref(),
+                        &log,
+                        &format!(
+                            "{name} attempt={attempt} outcome=failed class={}",
+                            if permanent {
+                                "permanent-io"
+                            } else {
+                                "retryable"
+                            }
+                        ),
+                    );
                     let slot = results.iter_mut().find(|(n, _)| *n == name).unwrap();
                     slot.1 = Err(msg);
-                    still_failing.push((name, f));
+                    if permanent {
+                        // Backoff only helps transient faults; a
+                        // permanent storage error fails fast.
+                        append_line(
+                            c.storage.as_ref(),
+                            &log,
+                            &format!("{name} retries=suppressed (permanent storage error)"),
+                        );
+                    } else {
+                        still_failing.push((name, f));
+                    }
                 }
             }
         }
@@ -569,17 +858,21 @@ pub fn run_campaign(
         results,
         replayed,
         attempts,
+        io: c.storage.health(),
     })
 }
 
 /// Count the intact unit records in a journal file (for triage).
-fn units_on_disk(path: &Path) -> u64 {
-    let Ok(buf) = std::fs::read(path) else {
+fn units_on_disk(storage: &dyn Storage, path: &Path, fingerprint: u64) -> u64 {
+    let Ok(buf) = storage.read(path) else {
+        return 0;
+    };
+    let Some(rest) = unit_header_matches(&buf, fingerprint) else {
         return 0;
     };
     let mut n = 0u64;
     let mut at = 0usize;
-    while let Some((_, _, _, next)) = read_unit(&buf, at) {
+    while let Some((_, _, _, next)) = read_unit(rest, at) {
         n += 1;
         at = next;
     }

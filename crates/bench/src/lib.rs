@@ -38,6 +38,7 @@ use tako_sim::config::SystemConfig;
 use tako_sim::parallel::{default_jobs, parallel_map, parallel_map_catch};
 
 pub mod campaign;
+pub mod doctor;
 pub mod experiments;
 
 /// Validate the base system configuration every harness builds from,

@@ -55,8 +55,10 @@ impl TakoSystem {
     ///
     /// [`TakoError::WatchdogStall`] if the watchdog flagged an access
     /// exceeding its stall bound; [`TakoError::CallbackQuarantined`] if
-    /// any Morph was quarantined for a misbehaving callback. A clean run
-    /// returns `Ok(())`.
+    /// any Morph was quarantined for a misbehaving callback;
+    /// [`TakoError::StorageDegraded`] if this thread's persistence
+    /// fabric tallied a permanent I/O failure (transient failures are
+    /// absorbed and do not fail health). A clean run returns `Ok(())`.
     pub fn health(&self) -> Result<(), TakoError> {
         if let Some((latency, bound)) = self.hier.watchdog.stall() {
             return Err(TakoError::WatchdogStall { latency, bound });
@@ -65,6 +67,18 @@ impl TakoSystem {
             return Err(TakoError::CallbackQuarantined {
                 morph,
                 reason: reason.to_string(),
+            });
+        }
+        // The unit journal runs on the simulating thread, so this
+        // thread's storage tally is this system's persistence health.
+        // Transient failures degrade checkpointing but self-heal;
+        // permanent ones mean recent journal writes may not be durable.
+        let io = tako_sim::storage::io_health();
+        if io.permanent > 0 {
+            return Err(TakoError::StorageDegraded {
+                permanent: io.permanent,
+                transient: io.transient,
+                last: io.last.unwrap_or_default(),
             });
         }
         Ok(())

@@ -1,0 +1,110 @@
+//! Seeded corruption fuzz over snapshot envelopes: whatever bytes a
+//! lying filesystem hands back, `TakoSystem::restore_bytes` must
+//! return a [`tako_core::TakoError`] (or, past the checksum line, at
+//! worst a structurally valid wrong state) — it must never panic and
+//! never abort on a corrupted length field.
+//!
+//! Three offset classes are swept:
+//!
+//! * truncation at every envelope-header boundary and at a seeded
+//!   sample of payload lengths;
+//! * bit flips anywhere in the envelope (the checksum must catch every
+//!   payload flip, the header checks every header flip);
+//! * bit flips in the payload with the envelope checksum *recomputed*
+//!   — the adversarial case that drives the section/state-mismatch
+//!   validation and the capacity sanity bounds instead of the digest.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use tako_core::TakoSystem;
+use tako_cpu::{AccessKind, MemSystem};
+use tako_sim::config::SystemConfig;
+use tako_sim::digest::Sha256;
+use tako_sim::rng::Rng;
+
+/// Envelope header layout (see `tako_sim::checkpoint::encode`):
+/// 8 magic + 4 version + 8 payload length + 32 payload SHA-256.
+const HDR: usize = 8 + 4 + 8 + 32;
+
+fn warmed() -> (TakoSystem, Vec<u8>) {
+    let mut sys = TakoSystem::new(SystemConfig::with_tiles(4));
+    let _ = sys.alloc_real(1 << 16);
+    let mut t = 0u64;
+    for k in 0..800u64 {
+        let addr = 0x1000_0000 + (k % 512) * 64;
+        t = sys.timed_access((k % 4) as usize, AccessKind::Read, addr, t);
+    }
+    let snap = sys.snapshot_bytes();
+    (sys, snap)
+}
+
+/// Assert that restoring `bytes` does not panic; return the verdict.
+fn restore_no_panic(sys: &mut TakoSystem, bytes: &[u8]) -> Result<(), String> {
+    let r = catch_unwind(AssertUnwindSafe(|| sys.restore_bytes(bytes)));
+    match r {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(_) => panic!(
+            "restore_bytes panicked on corrupt input ({} bytes)",
+            bytes.len()
+        ),
+    }
+}
+
+#[test]
+fn truncation_at_every_offset_class_errors_not_panics() {
+    let (mut sys, snap) = warmed();
+    // Every header boundary and its neighbors, then a seeded sample of
+    // payload cut points (plus the exact end-minus-one).
+    let mut cuts: Vec<usize> = (0..=HDR + 2).collect();
+    let mut rng = Rng::new(0xC0FFEE);
+    for _ in 0..64 {
+        cuts.push(HDR + (rng.below((snap.len() - HDR) as u64) as usize));
+    }
+    cuts.push(snap.len() - 1);
+    for cut in cuts {
+        let r = restore_no_panic(&mut sys, &snap[..cut]);
+        assert!(r.is_err(), "truncation to {cut} bytes restored Ok");
+    }
+    // The untouched envelope must still restore after all that.
+    restore_no_panic(&mut sys, &snap).expect("pristine envelope restores");
+}
+
+#[test]
+fn bit_flips_anywhere_error_not_panic() {
+    let (mut sys, snap) = warmed();
+    let mut rng = Rng::new(0xBADF00D);
+    // Every header byte, then a seeded sample across the payload.
+    let mut offsets: Vec<usize> = (0..HDR).collect();
+    for _ in 0..96 {
+        offsets.push(HDR + rng.below((snap.len() - HDR) as u64) as usize);
+    }
+    for off in offsets {
+        let mut bad = snap.clone();
+        bad[off] ^= 1 << (rng.below(8) as u8);
+        let r = restore_no_panic(&mut sys, &bad);
+        assert!(r.is_err(), "flip at byte {off} restored Ok");
+    }
+}
+
+#[test]
+fn payload_flips_with_recomputed_checksum_never_panic() {
+    let (mut sys, snap) = warmed();
+    let mut rng = Rng::new(0x5EED);
+    for _ in 0..96 {
+        let mut bad = snap.clone();
+        let off = HDR + rng.below((snap.len() - HDR) as u64) as usize;
+        bad[off] ^= 1 << (rng.below(8) as u8);
+        // Re-seal the envelope so the digest passes and the flip
+        // reaches the structural validation underneath. A length field
+        // can now claim gigabytes — the capacity sanity bounds must
+        // turn that into an error, not an OOM abort.
+        let mut h = Sha256::new();
+        h.update(&bad[HDR..]);
+        bad[20..52].copy_from_slice(&h.finish());
+        // Either verdict is legal here (a flipped counter value is
+        // indistinguishable from a different valid history); the
+        // assertion is purely no-panic, inside restore_no_panic.
+        let _ = restore_no_panic(&mut sys, &bad);
+    }
+}

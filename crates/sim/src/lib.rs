@@ -24,6 +24,12 @@
 //! * [`checkpoint`] — the versioned, checksummed snapshot format and the
 //!   [`checkpoint::Snapshot`] trait every stateful component implements;
 //!   resume-from-snapshot is byte-identical to an uninterrupted run.
+//! * [`storage`] — the crash-safe persistence fabric: a [`storage::Storage`]
+//!   trait with a real-filesystem backend (atomic temp+sync+rename writes)
+//!   and a deterministic fault-injecting backend that can crash at the
+//!   N-th I/O site, tear a write, drop a rename, duplicate an append, or
+//!   flip a bit — the substrate the campaign journal's recovery proofs
+//!   sweep over.
 //! * [`supervise`] — thread-local deadline/triage plumbing between the
 //!   supervised campaign runner and the hierarchy's watchdog epochs.
 //! * [`trace`] — the observability layer: bounded event tracing with
@@ -55,6 +61,7 @@ pub mod fault;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod storage;
 pub mod supervise;
 pub mod trace;
 

@@ -623,6 +623,22 @@ impl MetricsRecorder {
     }
 }
 
+/// Sanity-bound a container capacity read from a snapshot before
+/// allocating it. A bit flip in a length field would otherwise turn
+/// into a multi-gigabyte `vec![None; cap]` — an OOM abort, which no
+/// checksum downstream can catch. Real ring/sample capacities are
+/// config-set and tiny; anything past this bound is corruption.
+fn bounded_capacity(what: &str, cap: usize) -> Result<usize, SnapError> {
+    const MAX_SNAPSHOT_CAPACITY: usize = 1 << 22;
+    if cap > MAX_SNAPSHOT_CAPACITY {
+        return Err(SnapError::StateMismatch(format!(
+            "{what}: capacity {cap} exceeds the {MAX_SNAPSHOT_CAPACITY} sanity bound \
+             (corrupt length field)"
+        )));
+    }
+    Ok(cap)
+}
+
 impl Snapshot for MetricsRecorder {
     fn save(&self, w: &mut SnapWriter) {
         w.section("metrics");
@@ -655,7 +671,7 @@ impl Snapshot for MetricsRecorder {
         self.prev_cb_cycles = r.get_u64()?;
         self.prev_cycle = r.get_u64()?;
         self.total_samples = r.get_u64()?;
-        let cap = r.get_len()?;
+        let cap = bounded_capacity("metrics.samples", r.get_len()?)?;
         let mut samples = vec![None; cap.max(1)].into_boxed_slice();
         for slot in samples.iter_mut() {
             if r.get_bool()? {
@@ -916,7 +932,7 @@ impl Snapshot for Observer {
 
     fn load(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         r.section("observer")?;
-        let cap = r.get_len()?;
+        let cap = bounded_capacity("observer.ring", r.get_len()?)?;
         let mut slots = vec![None; cap.max(1)].into_boxed_slice();
         for slot in slots.iter_mut() {
             if r.get_bool()? {

@@ -74,6 +74,27 @@ diff <(grep -v 'took' "$JDIR/clean.txt") \
      <(grep -v 'took' "$JDIR/resumed.txt")
 echo "    resumed campaign output matches clean run"
 
+# Crash-point sweep smoke: every I/O site of a small journaled
+# campaign, for every deterministic fault kind, must resume to the
+# uninterrupted run's golden digest (DESIGN.md §7d). Takes ~1s.
+echo "==> crash-point sweep smoke"
+./target/release/crash_campaign --root "$JDIR/sweep"
+
+# Journal doctor smoke: --verify must flag exactly the committed
+# corrupt fixtures (and exit nonzero doing so), and a repaired copy
+# must come back clean.
+echo "==> tako_fsck smoke"
+if ./target/release/tako_fsck --verify crates/bench/regressions/fsck \
+    > "$JDIR/fsck.txt"; then
+  echo "error: verify should flag the corrupt fixtures" >&2
+  exit 1
+fi
+grep -q '4 flagged' "$JDIR/fsck.txt"
+cp -r crates/bench/regressions/fsck "$JDIR/fsck-repair"
+./target/release/tako_fsck --repair "$JDIR/fsck-repair" > /dev/null
+./target/release/tako_fsck --verify "$JDIR/fsck-repair" > /dev/null
+echo "    fixtures flagged; repaired copy verifies clean"
+
 # Observability smoke: a traced run must produce parseable Chrome
 # trace JSON with real events, a profile table, and output that is
 # byte-identical to the untraced clean run above (tracing is strictly
